@@ -1,0 +1,24 @@
+"""Shared helpers for the figure/table regeneration benches.
+
+Every bench regenerates one paper artifact: it runs the experiment
+(timed by pytest-benchmark), prints the same rows/series the paper
+reports (visible with ``pytest benchmarks/ --benchmark-only -s`` and
+stored in ``benchmark.extra_info``), and asserts the paper's *shape* —
+who wins, by roughly what factor, where crossovers fall.
+"""
+
+from __future__ import annotations
+
+
+def record(benchmark, result_text: str, **extra) -> None:
+    """Attach the rendered artifact and shape facts to the bench."""
+    benchmark.extra_info["rendered"] = result_text
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+    print()
+    print(result_text)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` with a single round (simulations are deterministic)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

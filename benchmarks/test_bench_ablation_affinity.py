@@ -1,0 +1,82 @@
+"""Ablation — the §5 processor-affinity extension to SFS.
+
+§5: "SMP-based time-sharing schedulers ... take processor affinities
+into account while making scheduling decisions ... SFS currently
+ignores processor affinities while making scheduling decisions. We plan
+to explore the implications of doing so."
+
+This bench quantifies the trade: the ``affinity_bonus`` knob reduces
+cross-CPU migrations (fewer context switches, better cache behaviour —
+modelled via the cache cost of the testbed cost model) at a bounded
+cost in allocation accuracy.
+"""
+
+import pytest
+
+from conftest import record
+from repro.core.sfs import SurplusFairScheduler
+from repro.sim.costs import CostModel
+from repro.sim.machine import Machine
+from repro.sim.task import Task
+from repro.workloads.cpu_bound import Infinite
+
+WEIGHTS = (1, 1, 2, 2, 3, 3)
+HORIZON = 30.0
+#: processes with a 8 KB working set: migrations cost cache refills
+COSTS = CostModel()
+
+
+def run_with_bonus(bonus: float):
+    sched = SurplusFairScheduler(affinity_bonus=bonus)
+    machine = Machine(sched, cpus=2, quantum=0.1, cost_model=COSTS,
+                      record_events=False)
+    tasks = [
+        machine.add_task(
+            Task(Infinite(), weight=w, name=f"w{w}-{i}", footprint_kb=8.0)
+        )
+        for i, w in enumerate(WEIGHTS)
+    ]
+    machine.run_until(HORIZON)
+    total = sum(t.service for t in tasks)
+    ideal = [w / sum(WEIGHTS) for w in WEIGHTS]
+    err = sum(abs(t.service / total - i) for t, i in zip(tasks, ideal))
+    return {
+        "switches": machine.trace.context_switches,
+        "overhead_s": machine.trace.overhead_time,
+        "share_l1_error": err,
+        "affinity_hits": sched.affinity_hits,
+    }
+
+
+@pytest.mark.parametrize("bonus", [0.0, 0.02, 0.05, 0.15])
+def test_affinity_bonus_tradeoff(benchmark, bonus):
+    stats = benchmark.pedantic(run_with_bonus, args=(bonus,), rounds=1,
+                               iterations=1)
+    record(
+        benchmark,
+        f"bonus={bonus}s: switches={stats['switches']} "
+        f"overhead={1e6 * stats['overhead_s']:.0f}us "
+        f"share L1 err={stats['share_l1_error']:.4f} "
+        f"hits={stats['affinity_hits']}",
+        **stats,
+    )
+    # Allocation must stay proportional for every bonus level.
+    assert stats["share_l1_error"] < 0.15
+
+
+def test_affinity_reduces_switch_overhead(benchmark):
+    def compare():
+        return run_with_bonus(0.0), run_with_bonus(0.15)
+
+    plain, sticky = benchmark.pedantic(compare, rounds=1, iterations=1)
+    record(
+        benchmark,
+        f"plain: {plain['switches']} switches, "
+        f"{1e6 * plain['overhead_s']:.0f}us overhead | "
+        f"sticky(0.15s): {sticky['switches']} switches, "
+        f"{1e6 * sticky['overhead_s']:.0f}us overhead",
+        plain_switches=plain["switches"],
+        sticky_switches=sticky["switches"],
+    )
+    assert sticky["switches"] < plain["switches"]
+    assert sticky["overhead_s"] < plain["overhead_s"]

@@ -1,0 +1,78 @@
+"""Ablation — fixed-point tag arithmetic scale factor (§3.2).
+
+The paper chose a 10^4 scale factor as "adequate for most purposes",
+with wrap-around rebasing to compensate for the faster tag growth.
+This bench sweeps the scale and measures (a) allocation error against
+the float reference and (b) the rebase frequency cost.
+"""
+
+import pytest
+
+from conftest import record
+from repro.core.fixed_point import FixedTags
+from repro.core.sfs import SurplusFairScheduler
+from repro.sim.machine import Machine
+from repro.sim.task import Task
+from repro.workloads.cpu_bound import Infinite
+
+WEIGHTS = (1, 2, 3, 4)
+IDEAL = [w / sum(WEIGHTS) for w in WEIGHTS]
+
+
+def allocation_error(tag_math, horizon=20.0) -> float:
+    sched = SurplusFairScheduler(tag_math=tag_math)
+    machine = Machine(sched, cpus=2, quantum=0.2, record_events=False)
+    tasks = [
+        machine.add_task(Task(Infinite(), weight=w, name=f"w{w}"))
+        for w in WEIGHTS
+    ]
+    machine.run_until(horizon)
+    total = sum(t.service for t in tasks)
+    shares = [t.service / total for t in tasks]
+    return sum(abs(a - b) for a, b in zip(shares, IDEAL))
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 4, 6])
+def test_fixed_point_scale_sweep(benchmark, n):
+    err = benchmark.pedantic(
+        allocation_error, args=(FixedTags(n=n),), rounds=1, iterations=1
+    )
+    float_err = allocation_error(None)
+    record(
+        benchmark,
+        f"scale=10^{n}: allocation L1 error {err:.4f} "
+        f"(float reference {float_err:.4f})",
+        l1_error=err,
+        float_reference_error=float_err,
+    )
+    if n >= 4:
+        # Paper: 10^4 is adequate — indistinguishable from float.
+        assert err < float_err + 0.02
+
+
+def test_wraparound_rebase_overhead(benchmark):
+    """Frequent rebases (tiny wrap threshold) must not disturb shares."""
+
+    def run():
+        # wrap_bits=16 wraps at 3.28 virtual seconds — reached several
+        # times in a 30 s run at these weights.
+        tags = FixedTags(n=4, wrap_bits=16)
+        sched = SurplusFairScheduler(tag_math=tags)
+        machine = Machine(sched, cpus=2, quantum=0.2, record_events=False)
+        tasks = [
+            machine.add_task(Task(Infinite(), weight=w, name=f"w{w}"))
+            for w in WEIGHTS
+        ]
+        machine.run_until(30.0)
+        total = sum(t.service for t in tasks)
+        return sched.rebase_count, [t.service / total for t in tasks]
+
+    rebases, shares = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        benchmark,
+        f"rebases={rebases} shares={[round(s, 3) for s in shares]}",
+        rebase_count=rebases,
+    )
+    assert rebases > 0
+    err = sum(abs(a - b) for a, b in zip(shares, IDEAL))
+    assert err < 0.08

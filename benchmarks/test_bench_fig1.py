@@ -1,0 +1,31 @@
+"""Figure 1 / Example 1 — infeasible weights starve SFQ.
+
+Paper shape: under plain SFQ thread 1 starves for ~900 quanta after
+thread 3 arrives; SFS (and SFQ+readjustment) remove the starvation.
+"""
+
+from conftest import record, run_once
+from repro.experiments import fig1_infeasible
+
+
+def test_fig1_sfq_starvation(benchmark):
+    result = run_once(benchmark, fig1_infeasible.run, "sfq")
+    text = fig1_infeasible.render(result)
+    record(
+        benchmark,
+        text,
+        t1_starvation_s=result.t1_starvation,
+        paper_starvation_s=0.9,
+        s1_at_arrival=result.tags_at_arrival[0],
+        s2_at_arrival=result.tags_at_arrival[1],
+    )
+    # Paper: S1=1000 quanta, S2=100 quanta, ~900 quanta starved.
+    assert result.tags_at_arrival[0] > 9 * result.tags_at_arrival[1]
+    assert 0.7 <= result.t1_starvation <= 1.0
+
+
+def test_fig1_sfs_no_starvation(benchmark):
+    result = run_once(benchmark, fig1_infeasible.run, "sfs")
+    record(benchmark, fig1_infeasible.render(result),
+           t1_starvation_s=result.t1_starvation)
+    assert result.t1_starvation < 0.1

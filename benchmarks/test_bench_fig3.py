@@ -1,0 +1,40 @@
+"""Figure 3 — efficacy of the §3.2 scheduling heuristic.
+
+Paper shape: on a quad-processor with up to 400 runnable threads,
+examining the first 20 threads of each queue picks the true
+minimum-surplus thread > 99 % of the time; accuracy rises steeply with
+the scan depth.
+"""
+
+from conftest import record, run_once
+from repro.experiments import fig3_heuristic
+
+#: trimmed grid: full 400-thread sweeps are exercised by the slower
+#: `sfs-experiment fig3`; the bench checks the paper's headline cells.
+THREADS = (100, 200, 400)
+DEPTHS = (1, 5, 20, 60)
+
+
+def test_fig3_heuristic_accuracy(benchmark):
+    result = run_once(
+        benchmark,
+        fig3_heuristic.run,
+        thread_counts=THREADS,
+        scan_depths=DEPTHS,
+        decisions=800,
+    )
+    text = fig3_heuristic.render(result)
+    record(
+        benchmark,
+        text,
+        **{
+            f"acc_n{n}_k{k}": result.accuracy[(n, k)]
+            for n in THREADS
+            for k in DEPTHS
+        },
+    )
+    for n in THREADS:
+        # Paper: k=20 gives > 99% accuracy even at 400 threads.
+        assert result.accuracy[(n, 20)] > 0.99
+        # Accuracy grows with scan depth.
+        assert result.accuracy[(n, 1)] <= result.accuracy[(n, 20)] + 1e-9

@@ -1,0 +1,41 @@
+"""Figure 6(a) — proportionate allocation of dhrystone benchmarks.
+
+Paper shape: the two foreground dhrystones' loop rates stand in the
+requested weight ratios 1:1, 1:2, 1:4, 1:7.
+"""
+
+from conftest import record, run_once
+from repro.experiments import fig6a_proportional
+
+
+def test_fig6a_sfs_proportional(benchmark):
+    result = run_once(benchmark, fig6a_proportional.run, "sfs")
+    record(
+        benchmark,
+        fig6a_proportional.render(result),
+        **{
+            f"ratio_{w1}_{w2}": result.measured_ratio((w1, w2))
+            for (w1, w2) in result.rates
+        },
+    )
+    for (w1, w2) in result.rates:
+        requested = w2 / w1
+        measured = result.measured_ratio((w1, w2))
+        assert abs(measured - requested) / requested < 0.25, (w1, w2)
+    # Ratios are strictly increasing across the four assignments.
+    ratios = [result.measured_ratio(p) for p in result.rates]
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))
+
+
+def test_fig6a_gms_reference_exact(benchmark):
+    result = run_once(
+        benchmark,
+        fig6a_proportional.run,
+        "gms-reference",
+        horizon=60.0,
+        warmup=10.0,
+        quantum_jitter=0.0,
+    )
+    record(benchmark, fig6a_proportional.render(result))
+    for (w1, w2) in result.rates:
+        assert abs(result.measured_ratio((w1, w2)) - w2 / w1) / (w2 / w1) < 0.1

@@ -1,0 +1,36 @@
+"""Figure 6(b) — application isolation: MPEG decoding vs compilations.
+
+Paper shape: SFS keeps the decoder near its full frame rate (~30 fps,
+with at most a slight droop) as gcc jobs are added; the Linux
+time-sharing scheduler lets the frame rate collapse roughly as 1/(n+1).
+"""
+
+from conftest import record, run_once
+from repro.experiments import fig6b_isolation
+
+COUNTS = (0, 2, 4, 6, 8, 10)
+
+
+def test_fig6b_isolation(benchmark):
+    result = run_once(benchmark, fig6b_isolation.run, compile_counts=COUNTS)
+    text = fig6b_isolation.render(result)
+    sfs = dict(result.curves["sfs"])
+    ts = dict(result.curves["linux-ts"])
+    record(
+        benchmark,
+        text,
+        sfs_fps_at_10=sfs[10],
+        ts_fps_at_10=ts[10],
+        paper_sfs_at_10=28.0,
+        paper_ts_at_10=10.0,
+    )
+    # SFS: flat, within 15% of the unloaded rate at full load.
+    assert sfs[10] > 0.85 * sfs[0]
+    # Time sharing: collapses by more than 2.5x.
+    assert ts[10] < ts[0] / 2.5
+    # Crossover: TS tracks SFS with no load, loses by >= 2x at n=10.
+    assert abs(ts[0] - sfs[0]) < 3.0
+    assert sfs[10] > 2 * ts[10]
+    # TS frame rate decays monotonically with load.
+    ts_values = [ts[n] for n in COUNTS]
+    assert all(a >= b - 0.8 for a, b in zip(ts_values, ts_values[1:]))

@@ -1,0 +1,31 @@
+"""Figure 6(c) — interactive performance under background simulations.
+
+Paper shape: SFS response times are comparable to the time-sharing
+scheduler (which deliberately privileges I/O-bound processes): both in
+the 0-20 ms band and roughly flat in the number of disksim processes.
+"""
+
+from conftest import record, run_once
+from repro.experiments import fig6c_interactive
+
+COUNTS = (1, 2, 4, 6, 8, 10)
+
+
+def test_fig6c_interactive(benchmark):
+    result = run_once(benchmark, fig6c_interactive.run, disksim_counts=COUNTS)
+    text = fig6c_interactive.render(result)
+    sfs = dict(result.curves["sfs"])
+    ts = dict(result.curves["linux-ts"])
+    record(
+        benchmark,
+        text,
+        sfs_ms_at_10=1000 * sfs[10],
+        ts_ms_at_10=1000 * ts[10],
+        paper_band_ms=20.0,
+    )
+    for n in COUNTS:
+        # Paper's y-axis: both schedulers stay inside 0-20 ms.
+        assert sfs[n] < 0.020, f"SFS response at n={n}"
+        assert ts[n] < 0.020, f"TS response at n={n}"
+    # "Comparable": SFS within ~3x of time sharing at the heaviest load.
+    assert sfs[10] < 3 * ts[10] + 0.002

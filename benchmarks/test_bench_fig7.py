@@ -1,0 +1,40 @@
+"""Figure 7 — context-switch overhead vs number of 0 KB processes.
+
+Paper shape: both schedulers' per-switch cost grows with the process
+count; SFS sits a few microseconds above time sharing throughout; the
+curves stay inside the paper's 0-10 us band up to 50 processes.
+"""
+
+from conftest import record, run_once
+from repro.experiments import fig7_ctxswitch
+
+RINGS = (2, 5, 10, 20, 35, 50)
+
+
+def test_fig7_ctx_switch_growth(benchmark):
+    result = run_once(
+        benchmark, fig7_ctxswitch.run, ring_sizes=RINGS, passes=1000
+    )
+    text = fig7_ctxswitch.render(result)
+    sfs = dict(result.curves["sfs"])
+    ts = dict(result.curves["linux-ts"])
+    record(
+        benchmark,
+        text,
+        sfs_us_at_2=1e6 * sfs[2],
+        sfs_us_at_50=1e6 * sfs[50],
+        ts_us_at_2=1e6 * ts[2],
+        ts_us_at_50=1e6 * ts[50],
+    )
+    for name, curve in result.curves.items():
+        values = [v for _, v in curve]
+        # Monotone growth with process count.
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:])), name
+        # Paper band: under 10 us at 50 processes.
+        assert values[-1] < 10e-6, name
+    # SFS above time sharing at every ring size.
+    for n in RINGS:
+        assert sfs[n] > ts[n]
+    # "The percentage difference between the two schedulers decreases"
+    # as bookkeeping grows relative to the constant gap.
+    assert (sfs[50] - ts[50]) / ts[50] < (sfs[2] - ts[2]) / ts[2]

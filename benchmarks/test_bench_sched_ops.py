@@ -1,0 +1,92 @@
+"""Real (wall-clock) microbenchmarks of the scheduler implementations.
+
+Complements the simulated overheads of Table 1 / Fig. 7 with genuine
+measurements of *this* code base: the §3.2 complexity claims translate
+into pick-next cost that grows with run-queue length for exact SFS,
+stays ~constant for the bounded-scan heuristic, and a readjustment pass
+that costs O(p) beyond its sort.
+"""
+
+import random
+
+import pytest
+
+from repro.core.sfs import SurplusFairScheduler
+from repro.core.sfs_heuristic import HeuristicSurplusFairScheduler
+from repro.core.weights import readjust
+from repro.schedulers.linux_ts import LinuxTimeSharingScheduler
+from repro.schedulers.sfq import StartTimeFairScheduler
+from repro.sim.machine import Machine
+from repro.sim.task import Task
+from repro.workloads.cpu_bound import Infinite
+
+
+def populated_machine(scheduler, n_tasks, cpus=4, seed=1):
+    """A machine advanced into steady state with ``n_tasks`` runnable."""
+    rng = random.Random(seed)
+    machine = Machine(scheduler, cpus=cpus, quantum=0.05,
+                      sample_service=False, record_events=False)
+    for i in range(n_tasks):
+        w = rng.choice([1, 1, 2, 4, 8, 16])
+        machine.add_task(Task(Infinite(), weight=w, name=f"T{i}"))
+    machine.run_until(5.0)
+    return machine
+
+
+SCHEDULERS = {
+    "sfs-exact": SurplusFairScheduler,
+    "sfs-heuristic": HeuristicSurplusFairScheduler,
+    "sfq": StartTimeFairScheduler,
+    "linux-ts": LinuxTimeSharingScheduler,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCHEDULERS))
+@pytest.mark.parametrize("n_tasks", [10, 100, 400])
+def test_pick_next_cost(benchmark, name, n_tasks):
+    machine = populated_machine(SCHEDULERS[name](), n_tasks)
+    scheduler = machine.scheduler
+    now = machine.now
+
+    benchmark.extra_info["scheduler"] = name
+    benchmark.extra_info["runnable"] = n_tasks
+    benchmark(scheduler.pick_next, 0, now)
+
+
+@pytest.mark.parametrize("n_tasks", [10, 100, 400])
+def test_quantum_end_bookkeeping_cost_sfs(benchmark, n_tasks):
+    """Tag update + surplus reposition at a quantum boundary."""
+    machine = populated_machine(SurplusFairScheduler(), n_tasks)
+    scheduler = machine.scheduler
+    task = machine.processors[0].task
+    assert task is not None
+
+    def quantum_end_and_repick():
+        scheduler.on_preempt(task, machine.now, 0.05)
+        scheduler.pick_next(0, machine.now)
+
+    benchmark(quantum_end_and_repick)
+
+
+@pytest.mark.parametrize("n_threads", [10, 100, 1000])
+def test_weight_readjustment_cost(benchmark, n_threads):
+    rng = random.Random(7)
+    weights = [rng.choice([1, 2, 4, 100, 1000]) for _ in range(n_threads)]
+    benchmark(readjust, weights, 8)
+
+
+def test_engine_event_throughput(benchmark):
+    """Baseline: raw discrete-event engine dispatch rate."""
+    from repro.sim.engine import Engine
+
+    def run_10k_events():
+        engine = Engine()
+
+        def chain(count):
+            if count:
+                engine.schedule_after(0.001, chain, count - 1)
+
+        chain(10_000)
+        engine.run()
+
+    benchmark.pedantic(run_10k_events, rounds=3, iterations=1)

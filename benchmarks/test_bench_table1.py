@@ -1,0 +1,43 @@
+"""Table 1 — lmbench scheduling overheads: time sharing vs SFS.
+
+Paper rows (time sharing / SFS): syscall 0.7/0.7 us, fork 400/400 us,
+exec 2/2 ms, ctx switch 2proc/0KB 1/4 us, 8proc/16KB 15/19 us,
+16proc/64KB 178/179 us. Shape: SFS costs a few microseconds more, and
+the *relative* difference shrinks as process size grows (cache
+restoration dominates).
+"""
+
+from conftest import record, run_once
+from repro.experiments import table1_lmbench
+
+
+def test_table1_lmbench_rows(benchmark):
+    result = run_once(benchmark, table1_lmbench.run, passes=1500)
+    text = table1_lmbench.render(result)
+    flat = {
+        label.replace(" ", "_"): f"{ts * 1e6:.1f}/{sfs * 1e6:.1f} us"
+        for label, (ts, sfs) in result.rows.items()
+    }
+    record(benchmark, text, **flat)
+
+    ts0, sfs0 = result.rows["Context switch (2 proc/0KB)"]
+    ts16, sfs16 = result.rows["Context switch (8 proc/16KB)"]
+    ts64, sfs64 = result.rows["Context switch (16 proc/64KB)"]
+
+    # Row magnitudes within ~50% of the paper's values.
+    assert abs(ts0 - 1e-6) < 1e-6
+    assert abs(sfs0 - 4e-6) < 2e-6
+    assert abs(ts16 - 15e-6) < 6e-6
+    assert abs(sfs16 - 19e-6) < 6e-6
+    assert abs(ts64 - 178e-6) < 30e-6
+    assert abs(sfs64 - 179e-6) < 30e-6
+
+    # SFS above TS in every context-switch row ...
+    assert sfs0 > ts0 and sfs16 > ts16 and sfs64 > ts64
+    # ... but the percentage difference shrinks with process size (§4.5).
+    assert (sfs64 - ts64) / ts64 < (sfs16 - ts16) / ts16 < (sfs0 - ts0) / ts0
+
+    # Scheduler-independent rows are identical under both schedulers.
+    for label in ("syscall overhead", "fork()", "exec()"):
+        ts, sfs = result.rows[label]
+        assert ts == sfs

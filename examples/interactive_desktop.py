@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Interactive desktop: response times under batch load (cf. Fig. 6(c)).
+
+A user types into an editor (I/O-bound interactive task) while batch
+simulations grind in the background. We compare the editor's response
+time distribution under SFS and the Linux 2.2 time-sharing scheduler,
+sweeping the background load — including the percentiles the mean
+hides.
+
+Run:  python examples/interactive_desktop.py
+"""
+
+import random
+
+from repro.core import SurplusFairScheduler
+from repro.schedulers import LinuxTimeSharingScheduler
+from repro.sim import Machine, Task
+from repro.workloads import DisksimBatch, Interactive
+
+HORIZON = 120.0
+
+
+def percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[idx]
+
+
+def run(scheduler, n_batch: int) -> list[float]:
+    machine = Machine(scheduler, cpus=2, quantum=0.2, record_events=False,
+                      sample_service=False)
+    editor = Interactive(think_time=0.4, burst=0.006, rng=random.Random(42))
+    machine.add_task(Task(editor, weight=1, name="editor"))
+    for i in range(n_batch):
+        machine.add_task(Task(DisksimBatch(), weight=1, name=f"sim-{i}"))
+    machine.run_until(HORIZON)
+    return editor.response_times
+
+
+def main() -> None:
+    print("editor response times (ms): mean / p50 / p95 / max\n")
+    print(f"{'batch jobs':>10}  {'SFS':>26}  {'Linux time sharing':>26}")
+    for n_batch in (1, 2, 4, 8, 12):
+        stats = []
+        for scheduler in (SurplusFairScheduler(), LinuxTimeSharingScheduler()):
+            rts = run(scheduler, n_batch)
+            stats.append(
+                f"{1e3 * sum(rts) / len(rts):5.1f} /"
+                f"{1e3 * percentile(rts, 0.5):5.1f} /"
+                f"{1e3 * percentile(rts, 0.95):5.1f} /"
+                f"{1e3 * max(rts):5.1f}"
+            )
+        print(f"{n_batch:>10}  {stats[0]:>26}  {stats[1]:>26}")
+    print(
+        "\nBoth stay in the paper's 0-20 ms band: SFS gives interactive\n"
+        "performance comparable to a scheduler explicitly designed to\n"
+        "privilege I/O-bound processes (§4.4), while ALSO providing the\n"
+        "proportional isolation time sharing lacks."
+    )
+
+
+if __name__ == "__main__":
+    main()

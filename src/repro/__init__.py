@@ -1,0 +1,43 @@
+"""repro — Surplus Fair Scheduling (OSDI 2000) reproduction.
+
+A complete Python implementation of Chandra, Adler, Goyal & Shenoy,
+"Surplus Fair Scheduling: A Proportional-Share CPU Scheduling Algorithm
+for Symmetric Multiprocessors" (OSDI 2000), built on a discrete-event
+SMP simulator:
+
+- :mod:`repro.core` — weight readjustment, GMS, SFS (+ heuristic,
+  fixed-point arithmetic);
+- :mod:`repro.sim` — the simulated multiprocessor machine;
+- :mod:`repro.schedulers` — SFQ, Linux 2.2 time-sharing, stride, WFQ,
+  BVT, lottery, round-robin baselines;
+- :mod:`repro.workloads` — Inf, dhrystone, Interact, mpeg_play, gcc,
+  disksim, short jobs, lmbench lat_ctx;
+- :mod:`repro.analysis` — fairness metrics, ASCII charts, CSV output;
+- :mod:`repro.experiments` — one module per paper figure/table.
+"""
+
+from repro.core import (
+    FixedTags,
+    FloatTags,
+    FluidGMS,
+    HeuristicSurplusFairScheduler,
+    SurplusFairScheduler,
+    is_feasible,
+    readjust,
+)
+from repro.sim import Machine, Task
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FixedTags",
+    "FloatTags",
+    "FluidGMS",
+    "HeuristicSurplusFairScheduler",
+    "Machine",
+    "SurplusFairScheduler",
+    "Task",
+    "is_feasible",
+    "readjust",
+    "__version__",
+]

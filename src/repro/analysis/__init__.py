@@ -1,0 +1,44 @@
+"""Analysis utilities: fairness metrics, charts, tables, CSV output."""
+
+from repro.analysis.charts import bar_chart, line_chart, sparkline
+from repro.analysis.csvout import write_rows, write_series
+from repro.analysis.gantt import gantt_chart, occupancy
+from repro.analysis.lag import lag_curve, lag_report, max_absolute_lag
+from repro.analysis.fairness import (
+    gms_deviation,
+    jains_index,
+    longest_starvation,
+    max_relative_unfairness,
+    starvation_intervals,
+)
+from repro.analysis.tables import format_seconds, render_table
+from repro.analysis.timeseries import (
+    cumulative_series,
+    rate_series,
+    regular_times,
+    window,
+)
+
+__all__ = [
+    "bar_chart",
+    "cumulative_series",
+    "format_seconds",
+    "gantt_chart",
+    "gms_deviation",
+    "jains_index",
+    "lag_curve",
+    "lag_report",
+    "line_chart",
+    "max_absolute_lag",
+    "occupancy",
+    "longest_starvation",
+    "max_relative_unfairness",
+    "rate_series",
+    "regular_times",
+    "render_table",
+    "sparkline",
+    "starvation_intervals",
+    "window",
+    "write_rows",
+    "write_series",
+]

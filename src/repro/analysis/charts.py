@@ -1,0 +1,112 @@
+"""ASCII rendering of the paper's figures.
+
+The evaluation figures are line charts (cumulative iterations vs time,
+frame rate vs load, ...) and one bar chart (Fig. 6(a)). matplotlib is
+unavailable offline, so the experiment modules render Unicode text
+charts good enough to eyeball the *shape* the paper reports, and write
+CSV next to them for external plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart", "bar_chart", "sparkline"]
+
+_MARKS = "*o+x#@%&"
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e5 or abs(v) < 1e-3:
+        return f"{v:.2e}"
+    return f"{v:,.3g}"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII line chart.
+
+    Each series gets a distinct mark; overlapping points show the mark
+    of the later series. Axes are annotated with min/max values.
+    """
+    pts = [(x, y) for s in series.values() for x, y in s]
+    if not pts:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, data) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in data:
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = mark
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    y_hi, y_lo = _fmt(y_max), _fmt(y_min)
+    label_w = max(len(y_hi), len(y_lo)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = y_hi.rjust(label_w)
+        elif i == height - 1:
+            prefix = y_lo.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_lo, x_hi = _fmt(x_min), _fmt(x_max)
+    pad = width - len(x_lo) - len(x_hi)
+    lines.append(" " * (label_w + 2) + x_lo + " " * max(1, pad) + x_hi)
+    if xlabel or ylabel:
+        lines.append(f"   x: {xlabel}    y: {ylabel}".rstrip())
+    return "\n".join(lines)
+
+
+def bar_chart(
+    bars: Mapping[str, float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render labelled values as horizontal ASCII bars."""
+    if not bars:
+        return f"{title}\n(no data)"
+    peak = max(abs(v) for v in bars.values()) or 1.0
+    label_w = max(len(k) for k in bars)
+    lines = [title] if title else []
+    for name, value in bars.items():
+        n = int(abs(value) / peak * width)
+        lines.append(f"{name.rjust(label_w)} | {'#' * n} {_fmt(value)}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend of a numeric sequence (8-level block glyphs)."""
+    glyphs = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return glyphs[0] * len(values)
+    return "".join(
+        glyphs[int((v - lo) / (hi - lo) * (len(glyphs) - 1))] for v in values
+    )

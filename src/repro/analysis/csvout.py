@@ -1,0 +1,43 @@
+"""CSV output for experiment results.
+
+Every experiment can write its series/rows as CSV so figures can be
+re-plotted outside the sandbox. Files go to ``results/`` by default.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Mapping, Sequence
+
+__all__ = ["write_rows", "write_series"]
+
+
+def write_rows(
+    path: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Write rows with a header line; creates parent dirs. Returns path."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def write_series(
+    path: str,
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    x_name: str = "time",
+) -> str:
+    """Write named (x, y) series as long-form CSV (series, x, y)."""
+    rows = [
+        (name, x, y)
+        for name, points in series.items()
+        for x, y in points
+    ]
+    return write_rows(path, ["series", x_name, "value"], rows)

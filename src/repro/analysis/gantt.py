@@ -1,0 +1,96 @@
+"""ASCII Gantt rendering of a simulated schedule.
+
+Turns the machine's recorded CPU occupancy intervals into a per-CPU
+timeline — the quickest way to *see* scheduling behaviour such as
+SFQ's "spurts" (§4.3) or SFS's fine interleaving::
+
+    cpu0 |AAAA BBBB AAAA BBBB ...
+    cpu1 |CCCCCCCCCCCCCCCCCCC ...
+
+Each column is one time bucket; the glyph is the task that occupied
+the CPU for the majority of the bucket ('.' = idle).
+"""
+
+from __future__ import annotations
+
+from repro.sim.machine import Machine
+
+__all__ = ["gantt_chart", "occupancy"]
+
+_GLYPHS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def occupancy(
+    machine: Machine, t0: float, t1: float, buckets: int
+) -> dict[int, list[int | None]]:
+    """Majority-occupant tid per (cpu, time bucket), None = idle."""
+    if t1 <= t0:
+        raise ValueError(f"empty window [{t0}, {t1})")
+    if buckets < 1:
+        raise ValueError(f"need at least one bucket, got {buckets}")
+    width = (t1 - t0) / buckets
+    # accumulate per-bucket occupancy time per tid
+    grids: dict[int, list[dict[int, float]]] = {
+        p.cpu_id: [dict() for _ in range(buckets)] for p in machine.processors
+    }
+    for iv in machine.trace.run_intervals:
+        if iv.end <= t0 or iv.start >= t1:
+            continue
+        start = max(iv.start, t0)
+        end = min(iv.end, t1)
+        first = int((start - t0) / width)
+        last = min(buckets - 1, int((end - t0) / width))
+        for b in range(first, last + 1):
+            b_start = t0 + b * width
+            b_end = b_start + width
+            overlap = min(end, b_end) - max(start, b_start)
+            if overlap > 0:
+                bucket = grids[iv.cpu][b]
+                bucket[iv.tid] = bucket.get(iv.tid, 0.0) + overlap
+    out: dict[int, list[int | None]] = {}
+    for cpu, row in grids.items():
+        cells: list[int | None] = []
+        for bucket in row:
+            if not bucket:
+                cells.append(None)
+            else:
+                cells.append(max(bucket.items(), key=lambda kv: kv[1])[0])
+        out[cpu] = cells
+    return out
+
+
+def gantt_chart(
+    machine: Machine,
+    t0: float | None = None,
+    t1: float | None = None,
+    width: int = 72,
+) -> str:
+    """Render the schedule of ``[t0, t1)`` as an ASCII Gantt chart.
+
+    Requires the machine to have been created with
+    ``record_events=True`` (the default). Tasks are assigned glyphs in
+    tid order; a legend maps glyphs to task names.
+    """
+    if not machine.trace.run_intervals:
+        return "(no schedule recorded)"
+    lo = t0 if t0 is not None else min(iv.start for iv in machine.trace.run_intervals)
+    hi = t1 if t1 is not None else max(iv.end for iv in machine.trace.run_intervals)
+    cells = occupancy(machine, lo, hi, width)
+    tids = sorted({iv.tid for iv in machine.trace.run_intervals})
+    glyph = {
+        tid: _GLYPHS[i % len(_GLYPHS)] for i, tid in enumerate(tids)
+    }
+    names = {t.tid: t.name for t in machine.tasks}
+    lines = [f"schedule [{lo:.3f}s, {hi:.3f}s), {width} buckets:"]
+    for cpu in sorted(cells):
+        row = "".join(
+            glyph[tid] if tid is not None else "." for tid in cells[cpu]
+        )
+        lines.append(f"cpu{cpu} |{row}")
+    legend = "  ".join(
+        f"{glyph[tid]}={names.get(tid, tid)}" for tid in tids[: min(len(tids), 12)]
+    )
+    if len(tids) > 12:
+        legend += f"  (+{len(tids) - 12} more)"
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Service lag: windowed deviation from the GMS fluid ideal.
+
+Eq. 2 bounds hold *per interval*, so a scalar end-of-run deviation can
+hide transient unfairness (a thread starved for 10 s then repaid looks
+fine at the end). These helpers compute the **lag curve** — actual
+minus fluid-GMS service as a function of time — and its extremes, which
+is how the fairness of a practical scheduler is normally characterized
+against its fluid reference.
+"""
+
+from __future__ import annotations
+
+from repro.core.gms import FluidGMS
+from repro.sim import tracing
+from repro.sim.machine import Machine
+from repro.sim.metrics import service_at
+from repro.sim.task import Task
+
+__all__ = ["lag_curve", "max_absolute_lag", "lag_report"]
+
+
+def lag_curve(
+    machine: Machine, task: Task, t0: float, t1: float, step: float = 0.1
+) -> list[tuple[float, float]]:
+    """(time, actual - GMS service) for one task, sampled every ``step``.
+
+    Requires event recording and service sampling (machine defaults).
+    Positive lag = the task is ahead of its fluid entitlement.
+    """
+    if step <= 0:
+        raise ValueError(f"step must be > 0, got {step}")
+    gms = FluidGMS(machine.num_cpus)
+    events = sorted(machine.trace.events, key=lambda e: e.time)
+    out: list[tuple[float, float]] = []
+    idx = 0
+    t = t0
+    while t <= t1 + 1e-9:
+        while idx < len(events) and events[idx].time <= t:
+            ev = events[idx]
+            if ev.kind in (tracing.ARRIVE, tracing.WAKE):
+                gms.arrive(ev.tid, ev.weight, ev.time)
+            elif ev.kind in (tracing.BLOCK, tracing.EXIT):
+                gms.depart(ev.tid, ev.time)
+            elif ev.kind == tracing.WEIGHT:
+                gms.set_weight(ev.tid, ev.weight, ev.time)
+            idx += 1
+        gms.advance_to(min(t, t1))
+        out.append((t, service_at(task, t) - gms.service_of(task.tid)))
+        t += step
+    return out
+
+
+def max_absolute_lag(
+    machine: Machine, task: Task, t0: float, t1: float, step: float = 0.1
+) -> float:
+    """Worst |lag| of ``task`` over the window — the fairness bound."""
+    curve = lag_curve(machine, task, t0, t1, step)
+    return max((abs(v) for _, v in curve), default=0.0)
+
+
+def lag_report(
+    machine: Machine, t0: float, t1: float, step: float = 0.1
+) -> dict[str, float]:
+    """Max |lag| per task name over the window, for every task."""
+    return {
+        task.name: max_absolute_lag(machine, task, t0, t1, step)
+        for task in machine.tasks
+    }

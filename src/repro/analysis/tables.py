@@ -1,0 +1,56 @@
+"""Plain-text table rendering for experiment results.
+
+Used for Table 1 and for the per-figure summary rows the benchmark
+harness prints (paper value vs measured value).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_seconds"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:,.4g}"
+    return str(value)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human units for latencies: us / ms / s, like lmbench output."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"

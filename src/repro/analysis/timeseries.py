@@ -1,0 +1,54 @@
+"""Time-series helpers for figure regeneration.
+
+The paper samples cumulative iteration counts at regular intervals;
+these utilities turn the machine's per-charge service samples into
+evenly spaced series, difference them into rates, and window them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.metrics import service_at
+from repro.sim.task import Task
+
+__all__ = ["regular_times", "cumulative_series", "rate_series", "window"]
+
+
+def regular_times(t0: float, t1: float, step: float) -> list[float]:
+    """Evenly spaced sample times [t0, t0+step, ..., <= t1]."""
+    if step <= 0:
+        raise ValueError(f"step must be > 0, got {step}")
+    out: list[float] = []
+    t = t0
+    # Guard against float drift producing an extra point.
+    while t <= t1 + 1e-9:
+        out.append(min(t, t1))
+        t += step
+    return out
+
+
+def cumulative_series(
+    task: Task, times: Sequence[float], scale: float = 1.0
+) -> list[tuple[float, float]]:
+    """(time, cumulative service * scale) at the given times."""
+    return [(t, service_at(task, t) * scale) for t in times]
+
+
+def rate_series(
+    points: Sequence[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Difference a cumulative series into a per-interval rate series."""
+    out: list[tuple[float, float]] = []
+    for (t0, v0), (t1, v1) in zip(points, points[1:]):
+        dt = t1 - t0
+        if dt > 0:
+            out.append((t1, (v1 - v0) / dt))
+    return out
+
+
+def window(
+    points: Sequence[tuple[float, float]], t0: float, t1: float
+) -> list[tuple[float, float]]:
+    """Points with t0 <= time < t1."""
+    return [(t, v) for t, v in points if t0 <= t < t1]

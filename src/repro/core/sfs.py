@@ -1,0 +1,213 @@
+"""Surplus Fair Scheduling (§2.3, §3.1-3.2 of the paper).
+
+SFS approximates generalized multiprocessor sharing (GMS) with finite
+quanta: at each scheduling instance it computes, for every runnable
+thread, the *surplus*
+
+.. math:: \\alpha_i = \\phi_i (S_i - v)                  \\qquad (Eq. 4)
+
+— the service thread ``i`` has received beyond what the thread with the
+least service has — and runs the thread with the smallest surplus.
+Because the surplus depends only on the *start* tag, SFS does not need
+to know the quantum length when it schedules, so quanta may end early
+when threads block (a property the paper calls out explicitly).
+
+The implementation mirrors §3.1's kernel data structures: three sorted
+queues over the runnable threads —
+
+1. descending user weight (drives the §2.1 weight readjustment scan),
+2. ascending start tag (its head *is* the virtual time),
+3. ascending surplus (its first schedulable entry is the decision),
+
+with surpluses recomputed and the third queue re-sorted by insertion
+sort whenever the virtual time advances (§3.2's "mostly sorted" trick).
+
+Invariants maintained (checked by the test suite):
+
+- ``alpha_i >= 0`` for every runnable thread;
+- at least one runnable thread has ``alpha_i == 0`` (the one at ``v``);
+- on one processor SFS degenerates to SFQ (min surplus == min start tag).
+"""
+
+from __future__ import annotations
+
+from repro.core.fixed_point import TagArithmetic
+from repro.core.tags import TaggedScheduler
+from repro.sim.costs import DecisionCostParams
+from repro.sim.runqueue import SortedTaskList
+from repro.sim.task import Task, TaskState
+
+__all__ = ["SurplusFairScheduler"]
+
+
+class SurplusFairScheduler(TaggedScheduler):
+    """The exact SFS algorithm (no decision heuristic).
+
+    Parameters
+    ----------
+    tag_math:
+        Float (default) or kernel fixed-point tag arithmetic.
+    wake_preempt:
+        Allow woken threads to preempt the running thread with the most
+        current surplus (see ``TaggedScheduler.choose_victim``).
+    readjust:
+        Run weight readjustment at every runnable-set change. On by
+        default — SFS is defined over feasible instantaneous weights;
+        the off switch exists only for ablation experiments.
+    affinity_bonus:
+        §5 extension ("SFS currently ignores processor affinities"):
+        when > 0, a CPU re-runs its previous thread if that thread's
+        surplus is within ``affinity_bonus`` seconds of the minimum —
+        trading a bounded fairness slack for cache locality (fewer
+        migrations). 0 (default) is the paper's exact policy.
+    """
+
+    name = "SFS"
+
+    # Calibrated to Table 1 (≈4 us at a 2-entry run queue) and Fig. 7's
+    # growth to ≈8 us at 50 processes. The linear term reflects the
+    # amortized surplus-update/re-sort cost of §3.2.
+    decision_cost_params = DecisionCostParams(base=3.3e-6, per_thread=0.09e-6)
+
+    def __init__(
+        self,
+        tag_math: TagArithmetic | None = None,
+        wake_preempt: bool = True,
+        readjust: bool = True,
+        affinity_bonus: float = 0.0,
+    ) -> None:
+        if affinity_bonus < 0:
+            raise ValueError(f"affinity_bonus must be >= 0, got {affinity_bonus}")
+        super().__init__(readjust=readjust, tag_math=tag_math, wake_preempt=wake_preempt)
+        self.affinity_bonus = affinity_bonus
+        #: dispatches that kept the CPU's previous thread thanks to the
+        #: affinity bonus (instrumentation for the ablation bench)
+        self.affinity_hits = 0
+        #: §3.1 queue 1: runnable threads by descending user weight
+        self.weight_queue = SortedTaskList(key=lambda t: -t.weight)
+        #: §3.1 queue 3: runnable threads by ascending surplus
+        self.surplus_queue = SortedTaskList(key=lambda t: t.sched["alpha"])
+        self._in_queues: set[int] = set()
+        self._surplus_dirty = True
+        #: v at the last full surplus recompute. §3.1 prescribes a
+        #: recompute when v differs from "the previous scheduling
+        #: instance", so the comparison must be against this snapshot —
+        #: not against the last _refresh_vtime() call, which other hooks
+        #: (e.g. wrap-around checks) may invoke in between.
+        self._v_at_recompute = self._vtime
+        #: instrumentation: full surplus recomputations (resorts)
+        self.resort_count = 0
+        #: instrumentation: pick_next invocations
+        self.decision_count = 0
+
+    # ------------------------------------------------------------------
+    # queue maintenance via TaggedScheduler extension points
+    # ------------------------------------------------------------------
+
+    def _runnable_set_changed(self, task: Task, now: float) -> None:
+        runnable = task.tid in self._runnable
+        if runnable and task.tid not in self._in_queues:
+            task.sched["alpha"] = self.surplus_of(task)
+            self.weight_queue.add(task)
+            self.surplus_queue.add(task)
+            self._in_queues.add(task.tid)
+        elif not runnable and task.tid in self._in_queues:
+            self.weight_queue.discard(task)
+            self.surplus_queue.discard(task)
+            self._in_queues.discard(task.tid)
+        # Readjustment may have changed phis, arrivals/departures moved
+        # v: stored surpluses are stale until the next decision.
+        self._surplus_dirty = True
+
+    def _tags_updated(self, task: Task, now: float) -> None:
+        # A preemption advanced this task's start tag; its surplus grew.
+        if task.tid in self._in_queues:
+            task.sched["alpha"] = self.surplus_of(task)
+            self.surplus_queue.reposition(task)
+
+    def _after_rebase(self, offset) -> None:
+        # Tags moved but (S - v) is invariant under a common shift, so
+        # surpluses are unchanged; nothing to re-sort.
+        pass
+
+    # ------------------------------------------------------------------
+    # the scheduling decision
+    # ------------------------------------------------------------------
+
+    def _recompute_surpluses(self) -> None:
+        """Update every runnable thread's surplus and re-sort queue 3.
+
+        §3.1: "if the virtual time changes from the previous scheduling
+        instance, then the scheduler must update the surplus values of
+        all runnable threads (since alpha_i is a function of v) and
+        re-sort the queue." Insertion sort exploits the mostly-sorted
+        order (§3.2).
+        """
+        v = self._vtime
+        for task in self.surplus_queue:
+            task.sched["alpha"] = self.tags.surplus(task.phi, task.sched["S"], v)
+        self.surplus_queue.resort_insertion()
+        self.resort_count += 1
+        self._surplus_dirty = False
+        self._v_at_recompute = v
+
+    def pick_next(self, cpu: int, now: float) -> Task | None:
+        self.decision_count += 1
+        self._refresh_vtime()
+        if self._vtime != self._v_at_recompute or self._surplus_dirty:
+            self._recompute_surpluses()
+        best = self._first_schedulable(self.surplus_queue)
+        if best is None or self.affinity_bonus <= 0:
+            return best
+        return self._apply_affinity(cpu, best)
+
+    def _apply_affinity(self, cpu: int, best: Task) -> Task:
+        """§5 extension: keep the CPU's previous thread when near-tied."""
+        assert self.machine is not None
+        prev = self.machine.previous_task(cpu)
+        if (
+            prev is None
+            or prev is best
+            or prev.state is not TaskState.RUNNABLE
+            or prev.tid not in self._in_queues
+        ):
+            return best
+        # Express the bonus in surplus units (works for float and
+        # fixed-point tag arithmetic alike: surplus of a phi=1 thread
+        # one bonus-length past the virtual time).
+        bonus = self.tags.surplus(
+            1.0,
+            self.tags.finish_tag(self.tags.zero, self.affinity_bonus, 1.0),
+            self.tags.zero,
+        )
+        if self.surplus_of(prev) <= self.surplus_of(best) + bonus:
+            self.affinity_hits += 1
+            return prev
+        return best
+
+    # ------------------------------------------------------------------
+    # introspection helpers (used by tests and experiments)
+    # ------------------------------------------------------------------
+
+    def surpluses(self) -> dict[int, float]:
+        """Fresh Eq. 4 surpluses of all runnable threads, keyed by tid."""
+        self._refresh_vtime()
+        return {t.tid: self.surplus_of(t) for t in self._runnable.values()}
+
+    def exact_minimum_surplus_task(self) -> Task | None:
+        """The schedulable thread with the smallest fresh surplus.
+
+        Used as the ground truth when measuring heuristic accuracy
+        (Fig. 3); ties broken by tid like the real decision path.
+        """
+        self._refresh_vtime()
+        best: Task | None = None
+        best_key = None
+        for task in self._runnable.values():
+            if task.state is not TaskState.RUNNABLE:
+                continue
+            key = (self.surplus_of(task), task.tid)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = task
+        return best

@@ -1,0 +1,268 @@
+"""The weight readjustment algorithm (§2.1, Fig. 2 of the paper).
+
+On a ``p``-processor machine a weight assignment is *feasible* iff every
+thread's requested share can actually be consumed:
+
+.. math::  w_i / \\sum_j w_j \\le 1/p                      \\qquad (Eq. 1)
+
+(a single thread cannot use more than one processor's worth of
+bandwidth). Infeasible assignments make GPS-based schedulers unfair or
+starve threads (Example 1 / Fig. 1 of the paper). The readjustment
+algorithm maps an infeasible assignment to the *closest* feasible one:
+
+- walk the threads in descending weight order;
+- if thread ``i`` violates Eq. 1 for the remaining threads/processors,
+  recursively solve for the rest with one fewer processor, then set
+  ``w_i`` so its share of the remainder is exactly one processor;
+- threads that satisfy the constraint are never modified.
+
+Key properties (proved in the paper, verified by our property tests):
+
+- the result is feasible;
+- every *adjusted* thread ends with overall share exactly ``1/p``;
+- at most ``p - 1`` threads are adjusted;
+- feasible inputs are returned unchanged; the map is idempotent;
+- unadjusted threads keep their original weights (hence their mutual
+  ratios).
+
+Degenerate case (not discussed in the paper): when there are *fewer*
+runnable threads than processors (``t < p``), Eq. 1 is unsatisfiable —
+shares sum to one, so some share must exceed ``1/p``. Every thread can
+simply hold a full processor, which is what fluid GMS water-filling
+yields; the natural extension of the algorithm is therefore **equal
+instantaneous weights** (all threads capped at the full-processor
+share). Equal phis also keep start tags advancing at equal rates, so no
+relative credit builds up to starve anyone when more threads arrive.
+For ``t == p`` the paper's recursion already does the right thing
+(e.g. weights ``[10, 1]`` on two processors readjust to ``[1, 1]``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.task import Task
+
+__all__ = [
+    "is_feasible",
+    "violators",
+    "readjust_sorted",
+    "readjust_sorted_iterative",
+    "readjust",
+    "readjust_tasks",
+    "waterfill_shares",
+]
+
+#: relative slack used when testing Eq. 1 so that shares lying exactly on
+#: the boundary (as produced by readjustment itself) test as feasible.
+_REL_TOL = 1e-9
+
+
+def _violates(weight: float, total: float, p: int) -> bool:
+    """Does ``weight`` request more than 1/p of ``total``? (Eq. 1)."""
+    return weight * p > total * (1.0 + _REL_TOL)
+
+
+def is_feasible(weights: Sequence[float], p: int) -> bool:
+    """Check Eq. 1 for every weight. Empty assignments are feasible."""
+    if p < 1:
+        raise ValueError(f"processor count must be >= 1, got {p}")
+    total = float(sum(weights))
+    if total <= 0 and weights:
+        raise ValueError("weights must be positive")
+    return not any(_violates(w, total, p) for w in weights)
+
+
+def violators(weights: Sequence[float], p: int) -> list[int]:
+    """Indices of weights that violate the feasibility constraint.
+
+    At most ``p - 1`` indices can be returned (the paper's §2.1
+    observation: the requested fractions sum to one, so fewer than ``p``
+    of them can exceed ``1/p``).
+    """
+    total = float(sum(weights))
+    return [i for i, w in enumerate(weights) if _violates(w, total, p)]
+
+
+def readjust_sorted(weights: Sequence[float], p: int) -> list[float]:
+    """The paper's recursive algorithm (Fig. 2) on weights sorted in
+    descending order. Returns a new list; the input must be sorted.
+
+    Raises ``ValueError`` on unsorted input, non-positive weights, or
+    ``p < 1``.
+    """
+    w = [float(x) for x in weights]
+    _validate(w, p)
+    if not w:
+        return w
+    if len(w) < p:
+        return _equalize(w)
+    _readjust_recursive(w, 0, p)
+    return w
+
+
+def _equalize(w: list[float]) -> list[float]:
+    """Degenerate ``t < p`` case (see module docstring): every thread
+    holds a full processor; equal instantaneous weights express that.
+    Already-equal inputs are returned unchanged so the map is exactly
+    idempotent (a recomputed mean can differ by an ulp)."""
+    if all(x == w[0] for x in w):
+        return list(w)
+    mean = sum(w) / len(w)
+    return [mean] * len(w)
+
+
+def _validate(w: list[float], p: int) -> None:
+    if p < 1:
+        raise ValueError(f"processor count must be >= 1, got {p}")
+    for x in w:
+        if x <= 0:
+            raise ValueError(f"weights must be > 0, got {x}")
+    # Tolerance-based order check: values produced by a previous
+    # readjustment can wobble by an ulp.
+    for i in range(len(w) - 1):
+        if w[i] < w[i + 1] - _REL_TOL * max(w[i + 1], 1.0):
+            raise ValueError("weights must be sorted in descending order")
+
+
+def _readjust_recursive(w: list[float], i: int, p: int) -> None:
+    """Direct transcription of Fig. 2 (0-based indices).
+
+    ``w[i:]`` are the threads still to examine; ``p`` the processors
+    still available to them. The scan stops at the first thread that
+    satisfies the constraint (all later threads have smaller weights and
+    therefore request smaller, feasible fractions).
+    """
+    remaining = len(w) - i
+    if remaining == 0 or remaining < p:
+        # Defensive: unreachable when called with t >= p at the top
+        # level, because remaining and p decrease in lockstep.
+        return
+    total = sum(w[i:])
+    if _violates(w[i], total, p):
+        _readjust_recursive(w, i + 1, p - 1)
+        tail_sum = sum(w[i + 1:])
+        w[i] = tail_sum / (p - 1)
+
+
+def readjust_sorted_iterative(weights: Sequence[float], p: int) -> list[float]:
+    """Closed-form equivalent of :func:`readjust_sorted`.
+
+    Every adjusted thread ends with overall share exactly ``1/p``
+    (provable by induction over the Fig. 2 recursion), so all adjusted
+    weights are *equal*: with ``k`` violators and unadjusted suffix sum
+    ``S``, the final total is ``T = S * p / (p - k)`` and each adjusted
+    weight is ``T / p = S / (p - k)``. Computing that value once is
+    numerically exact where the level-by-level recursion accumulates
+    ulp-scale asymmetries; this is therefore the production path used
+    by :func:`readjust`, with the recursion kept as the paper-literal
+    reference (the two are property-tested for agreement).
+    """
+    w = [float(x) for x in weights]
+    _validate(w, p)
+    t = len(w)
+    if not w:
+        return w
+    if t < p:
+        return _equalize(w)
+    # Suffix sums of the original weights: suffix[i] = sum(w[i:]).
+    suffix = [0.0] * (t + 1)
+    for i in range(t - 1, -1, -1):
+        suffix[i] = suffix[i + 1] + w[i]
+    # Find k = number of adjusted threads (scan while violating).
+    k = 0
+    while k < min(p - 1, t) and _violates(w[k], suffix[k], p - k):
+        k += 1
+    if k:
+        adjusted = suffix[k] / (p - k)
+        for i in range(k):
+            w[i] = adjusted
+    return w
+
+
+def readjust(weights: Sequence[float], p: int) -> list[float]:
+    """Readjust an *arbitrary-order* weight vector.
+
+    Sorts internally (descending), applies the algorithm (closed form —
+    see :func:`readjust_sorted_iterative`), and scatters the adjusted
+    values back to the original positions. Stable for ties: equal
+    weights map to equal adjusted weights.
+    """
+    order = sorted(range(len(weights)), key=lambda i: (-weights[i], i))
+    sorted_w = [weights[i] for i in order]
+    adjusted = readjust_sorted_iterative(sorted_w, p)
+    result = [0.0] * len(weights)
+    for pos, idx in enumerate(order):
+        result[idx] = adjusted[pos]
+    return result
+
+
+def waterfill_shares(
+    weights: Sequence[float], caps: Sequence[float]
+) -> list[float]:
+    """Generalized readjustment: proportional shares under per-entity caps.
+
+    The §2.1 algorithm is the special case where every cap is ``1/p``
+    (one thread can use at most one processor). The hierarchical
+    scheduler (§5 extension) needs the general form: a scheduling
+    *class* with ``n`` runnable members on a ``p``-CPU machine can use
+    at most ``min(n, p)/p`` of the capacity.
+
+    Iteratively pins entities whose proportional share exceeds their
+    cap and redistributes the remainder among the rest — the classic
+    water-filling computation. Returns shares summing to
+    ``min(1, sum(caps))``.
+    """
+    if len(weights) != len(caps):
+        raise ValueError("weights and caps must have equal length")
+    for w in weights:
+        if w <= 0:
+            raise ValueError(f"weights must be > 0, got {w}")
+    for c in caps:
+        if not 0 < c <= 1:
+            raise ValueError(f"caps must be in (0, 1], got {c}")
+    n = len(weights)
+    shares = [0.0] * n
+    free = list(range(n))
+    budget = 1.0
+    # Each pass pins at least one entity, so at most n passes.
+    for _ in range(n):
+        total = sum(weights[i] for i in free)
+        if total <= 0 or budget <= 0:
+            break
+        pinned = []
+        for i in free:
+            proportional = budget * weights[i] / total
+            if proportional > caps[i] * (1.0 + _REL_TOL):
+                pinned.append(i)
+        if not pinned:
+            for i in free:
+                shares[i] = budget * weights[i] / total
+            return shares
+        for i in pinned:
+            shares[i] = caps[i]
+            budget -= caps[i]
+            free.remove(i)
+    # Everyone pinned (sum of caps < 1): budget may remain unused.
+    return shares
+
+
+def readjust_tasks(tasks: Sequence["Task"], p: int) -> list["Task"]:
+    """Recompute the instantaneous weight ``phi`` of each runnable task.
+
+    This is the entry point the schedulers call at every arrival,
+    departure, block, wakeup and weight change (§3.1). Reads
+    ``task.weight`` (the user assignment, never modified) and writes
+    ``task.phi``. Returns the tasks whose ``phi`` changed.
+    """
+    if not tasks:
+        return []
+    weights = [t.weight for t in tasks]
+    adjusted = readjust(weights, p)
+    changed = []
+    for task, phi in zip(tasks, adjusted):
+        if task.phi != phi:
+            task.phi = phi
+            changed.append(task)
+    return changed

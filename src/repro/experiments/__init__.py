@@ -1,0 +1,46 @@
+"""Experiment modules — one per figure/table of the paper's evaluation.
+
+=========  =======================================================
+module     paper artifact
+=========  =======================================================
+fig1       Fig. 1 / Example 1: infeasible weights starve SFQ
+fig3       Fig. 3: §3.2 heuristic accuracy vs scan depth
+fig4       Fig. 4: SFQ with/without weight readjustment
+fig5       Fig. 5: short jobs problem, SFQ vs SFS
+fig6a      Fig. 6(a): proportionate dhrystone allocation
+fig6b      Fig. 6(b): MPEG isolation from compilations
+fig6c      Fig. 6(c): interactive response under batch load
+table1     Table 1: lmbench scheduling overheads
+fig7       Fig. 7: context-switch overhead vs process count
+=========  =======================================================
+
+Each module exposes ``run(...) -> Result`` and ``render(Result) -> str``.
+The CLI (``sfs-experiment``) and the pytest-benchmark harness in
+``benchmarks/`` drive these.
+"""
+
+from repro.experiments import (
+    fig1_infeasible,
+    fig3_heuristic,
+    fig4_readjustment,
+    fig5_shortjobs,
+    fig6a_proportional,
+    fig6b_isolation,
+    fig6c_interactive,
+    fig7_ctxswitch,
+    sensitivity,
+    table1_lmbench,
+)
+
+__all__ = [
+    "fig1_infeasible",
+    "fig3_heuristic",
+    "fig4_readjustment",
+    "fig5_shortjobs",
+    "fig6a_proportional",
+    "fig6b_isolation",
+    "fig6c_interactive",
+    "fig7_ctxswitch",
+    "sensitivity",
+    "table1_lmbench",
+]

@@ -1,0 +1,117 @@
+"""Command-line entry point: ``sfs-experiment <id> [options]``.
+
+Regenerates any of the paper's figures/tables as text (and optionally
+CSV). ``sfs-experiment all`` runs the whole evaluation section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    fig1_infeasible,
+    fig3_heuristic,
+    fig4_readjustment,
+    fig5_shortjobs,
+    fig6a_proportional,
+    fig6b_isolation,
+    fig6c_interactive,
+    fig7_ctxswitch,
+    sensitivity,
+    table1_lmbench,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig1() -> str:
+    parts = [
+        fig1_infeasible.render(fig1_infeasible.run("sfq")),
+        "",
+        fig1_infeasible.render(fig1_infeasible.run("sfq-readjust")),
+    ]
+    return "\n".join(parts)
+
+
+def _fig3() -> str:
+    return fig3_heuristic.render(fig3_heuristic.run())
+
+
+def _fig4() -> str:
+    parts = [
+        fig4_readjustment.render(fig4_readjustment.run("sfq")),
+        "",
+        fig4_readjustment.render(fig4_readjustment.run("sfq-readjust")),
+    ]
+    return "\n".join(parts)
+
+
+def _fig5() -> str:
+    parts = [
+        fig5_shortjobs.render(fig5_shortjobs.run("sfq")),
+        "",
+        fig5_shortjobs.render(fig5_shortjobs.run("sfs")),
+    ]
+    return "\n".join(parts)
+
+
+def _fig6a() -> str:
+    return fig6a_proportional.render(fig6a_proportional.run())
+
+
+def _fig6b() -> str:
+    return fig6b_isolation.render(fig6b_isolation.run())
+
+
+def _fig6c() -> str:
+    return fig6c_interactive.render(fig6c_interactive.run())
+
+
+def _table1() -> str:
+    return table1_lmbench.render(table1_lmbench.run())
+
+
+def _fig7() -> str:
+    return fig7_ctxswitch.render(fig7_ctxswitch.run())
+
+
+def _sensitivity() -> str:
+    return sensitivity.render(sensitivity.run())
+
+
+EXPERIMENTS = {
+    "fig1": _fig1,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6a": _fig6a,
+    "fig6b": _fig6b,
+    "fig6c": _fig6c,
+    "table1": _table1,
+    "fig7": _fig7,
+    "sensitivity": _sensitivity,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sfs-experiment",
+        description="Regenerate figures/tables from the SFS paper (OSDI 2000).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which paper artifact to regenerate",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"=== {name} " + "=" * (70 - len(name)))
+        print(EXPERIMENTS[name]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

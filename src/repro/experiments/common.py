@@ -1,0 +1,70 @@
+"""Shared scaffolding for the per-figure experiment modules.
+
+Every experiment module exposes ``run(...) -> <Result dataclass>`` and
+``render(result) -> str``; the helpers here build machines and standard
+task populations so the experiment files read like the paper's §4
+prose.
+"""
+
+from __future__ import annotations
+
+from repro.sim.costs import CostModel, ZERO_COST
+from repro.sim.machine import Machine
+from repro.sim.scheduler import Scheduler
+from repro.sim.task import Task
+from repro.workloads.cpu_bound import Infinite
+
+__all__ = [
+    "make_machine",
+    "add_inf",
+    "add_inf_group",
+    "PAPER_QUANTUM",
+    "PAPER_CPUS",
+]
+
+#: the paper's testbed parameters (§4.1)
+PAPER_QUANTUM = 0.2
+PAPER_CPUS = 2
+
+
+def make_machine(
+    scheduler: Scheduler,
+    cpus: int = PAPER_CPUS,
+    quantum: float = PAPER_QUANTUM,
+    cost_model: CostModel = ZERO_COST,
+    **kwargs,
+) -> Machine:
+    """A machine configured like the paper's testbed by default."""
+    return Machine(
+        scheduler,
+        cpus=cpus,
+        quantum=quantum,
+        cost_model=cost_model,
+        **kwargs,
+    )
+
+
+def add_inf(
+    machine: Machine,
+    weight: float,
+    name: str,
+    at: float = 0.0,
+    ts_priority: int = 20,
+) -> Task:
+    """Add one Inf (compute-bound) application."""
+    task = Task(Infinite(), weight=weight, name=name, ts_priority=ts_priority)
+    return machine.add_task(task, at=at)
+
+
+def add_inf_group(
+    machine: Machine,
+    count: int,
+    weight: float,
+    prefix: str,
+    at: float = 0.0,
+) -> list[Task]:
+    """Add ``count`` identical Inf applications named ``prefix-i``."""
+    return [
+        add_inf(machine, weight, f"{prefix}-{i + 1}", at=at)
+        for i in range(count)
+    ]

@@ -1,0 +1,113 @@
+"""Figure 4 — impact of the weight readjustment algorithm on SFQ.
+
+§4.2: *"At t=0, we started two Inf applications (T1 and T2) with
+weights 1:10. At t=15s, we started a third Inf application (T3) with a
+weight of 1. Task T2 was then stopped at t=30s."* Measured on the
+dual-processor testbed with quantum 200 ms.
+
+Expected behaviour:
+
+- **SFQ without readjustment** (Fig. 4(a)): T1 starves when T3 arrives
+  (its curve goes flat at t=15 s) until the others' tags catch up.
+- **SFQ with readjustment** (Fig. 4(b)): shares follow instantaneous
+  weights — 1:1 while only T1, T2 run (T2's weight is capped to one
+  CPU), 1:2:1 after T3 arrives, 1:1 after T2 stops.
+
+``run()`` executes the scenario once for a given configuration and
+reports phase shares and iteration curves (Inf loop rate calibrated in
+:mod:`repro.workloads.cpu_bound`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.charts import line_chart
+from repro.analysis.fairness import longest_starvation
+from repro.analysis.timeseries import cumulative_series, regular_times
+from repro.core.sfs import SurplusFairScheduler
+from repro.experiments.common import add_inf, make_machine
+from repro.schedulers.sfq import StartTimeFairScheduler
+from repro.sim.metrics import share_between
+from repro.sim.task import Task
+from repro.workloads.cpu_bound import INF_ITER_RATE
+
+__all__ = ["Fig4Result", "run", "render"]
+
+T3_ARRIVAL = 15.0
+T2_STOP = 30.0
+HORIZON = 40.0
+
+
+@dataclass
+class Fig4Result:
+    """Shares per phase and iteration curves for one configuration."""
+
+    scheduler: str
+    #: machine share of each task in [0, 15) — phase 1
+    phase1: dict[str, float]
+    #: machine share of each task in [15, 30) — phase 2
+    phase2: dict[str, float]
+    #: machine share of each task in [30, 40) — phase 3
+    phase3: dict[str, float]
+    #: longest T1 no-progress interval in phase 2 (starvation detector)
+    t1_starvation: float
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    tasks: dict[str, Task] = field(default_factory=dict)
+
+
+def run(scheduler_name: str = "sfq", sample_step: float = 0.5) -> Fig4Result:
+    """Run the Fig. 4 scenario under ``sfq``/``sfq-readjust``/``sfs``."""
+    if scheduler_name == "sfq":
+        scheduler = StartTimeFairScheduler(readjust=False)
+    elif scheduler_name == "sfq-readjust":
+        scheduler = StartTimeFairScheduler(readjust=True)
+    elif scheduler_name == "sfs":
+        scheduler = SurplusFairScheduler()
+    else:
+        raise ValueError(f"unsupported scheduler {scheduler_name!r}")
+
+    machine = make_machine(scheduler)
+    t1 = add_inf(machine, 1, "T1")
+    t2 = add_inf(machine, 10, "T2")
+    t3 = add_inf(machine, 1, "T3", at=T3_ARRIVAL)
+    machine.kill_task_at(t2, T2_STOP)
+    machine.run_until(HORIZON)
+
+    cpus = machine.num_cpus
+    tasks = (t1, t2, t3)
+    times = regular_times(0.0, HORIZON, sample_step)
+    series = {
+        task.name: cumulative_series(task, times, scale=INF_ITER_RATE)
+        for task in tasks
+    }
+    return Fig4Result(
+        scheduler=scheduler.name,
+        phase1={t.name: share_between(t, 0.0, T3_ARRIVAL, cpus) for t in tasks},
+        phase2={t.name: share_between(t, T3_ARRIVAL, T2_STOP, cpus) for t in tasks},
+        phase3={t.name: share_between(t, T2_STOP, HORIZON, cpus) for t in tasks},
+        t1_starvation=longest_starvation(t1, T3_ARRIVAL, T2_STOP),
+        series=series,
+        tasks={t.name: t for t in tasks},
+    )
+
+
+def render(result: Fig4Result) -> str:
+    def fmt(shares: dict[str, float]) -> str:
+        return "  ".join(f"{k}={v:.3f}" for k, v in shares.items())
+
+    lines = [
+        f"Figure 4 — SFQ weight readjustment scenario under {result.scheduler}",
+        f"  phase [0,15)s shares:  {fmt(result.phase1)}   (readjusted ideal: T1=0.5 T2=0.5)",
+        f"  phase [15,30)s shares: {fmt(result.phase2)}   (readjusted ideal: T1=0.25 T2=0.5 T3=0.25)",
+        f"  phase [30,40)s shares: {fmt(result.phase3)}   (readjusted ideal: T1=0.5 T3=0.5)",
+        f"  T1 longest starvation in [15,30)s: {result.t1_starvation:.2f} s",
+        "",
+        line_chart(
+            result.series,
+            title="cumulative Inf iterations (cf. paper Fig. 4)",
+            xlabel="time (s)",
+            ylabel="iterations",
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Figure 6(c) — interactive performance under background simulations.
+
+§4.4: *"Our final experiment consisted of an I/O-bound interactive
+application Interact that ran in the presence of a background
+simulation workload (represented by some number of disksim processes).
+Each application was assigned a weight of 1, and we measured the
+response time of Interact for different background loads."*
+
+Expected shape: SFS response times are comparable to the time-sharing
+scheduler (which deliberately privileges I/O-bound processes), both in
+the single-to-low-tens of milliseconds and roughly flat in the number
+of disksim processes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.analysis.charts import line_chart
+from repro.core.sfs import SurplusFairScheduler
+from repro.experiments.common import make_machine
+from repro.schedulers.linux_ts import LinuxTimeSharingScheduler
+from repro.sim.task import Task
+from repro.workloads.disksim import DisksimBatch
+from repro.workloads.interactive import Interactive
+
+__all__ = ["Fig6cResult", "run", "render"]
+
+THINK_TIME = 0.5
+BURST = 0.005
+HORIZON = 60.0
+
+
+@dataclass
+class Fig6cResult:
+    """Mean response time vs number of disksim processes."""
+
+    #: scheduler name -> list of (n_disksim, mean response seconds)
+    curves: dict[str, list[tuple[int, float]]] = field(default_factory=dict)
+    #: scheduler name -> n -> all response samples (for percentiles)
+    samples: dict[str, dict[int, list[float]]] = field(default_factory=dict)
+
+
+def _run_one(scheduler_name: str, n_disksim: int, seed: int) -> list[float]:
+    if scheduler_name == "sfs":
+        scheduler = SurplusFairScheduler()
+    elif scheduler_name == "linux-ts":
+        scheduler = LinuxTimeSharingScheduler()
+    else:
+        raise ValueError(f"unsupported scheduler {scheduler_name!r}")
+    machine = make_machine(scheduler, record_events=False,
+                           sample_service=False)
+    interact = Interactive(
+        think_time=THINK_TIME, burst=BURST, rng=random.Random(seed)
+    )
+    machine.add_task(Task(interact, weight=1, name="Interact"))
+    for i in range(n_disksim):
+        machine.add_task(
+            Task(DisksimBatch(), weight=1, name=f"disksim-{i + 1}")
+        )
+    machine.run_until(HORIZON)
+    return interact.response_times
+
+
+def run(
+    disksim_counts: tuple[int, ...] = (1, 2, 4, 6, 8, 10),
+    schedulers: tuple[str, ...] = ("sfs", "linux-ts"),
+    seed: int = 11,
+) -> Fig6cResult:
+    """Sweep disksim counts for each scheduler."""
+    result = Fig6cResult()
+    for name in schedulers:
+        result.curves[name] = []
+        result.samples[name] = {}
+        for n in disksim_counts:
+            samples = _run_one(name, n, seed)
+            mean = sum(samples) / len(samples) if samples else 0.0
+            result.curves[name].append((n, mean))
+            result.samples[name][n] = samples
+    return result
+
+
+def render(result: Fig6cResult) -> str:
+    lines = ["Figure 6(c) — Interact mean response time vs disksim load"]
+    for name, points in result.curves.items():
+        row = "  ".join(f"n={n}:{1000 * rt:6.2f}ms" for n, rt in points)
+        lines.append(f"  {name:10s} {row}")
+    lines.append("")
+    series = {
+        name: [(float(n), 1000 * rt) for n, rt in pts]
+        for name, pts in result.curves.items()
+    }
+    lines.append(
+        line_chart(
+            series,
+            title="mean response time (ms) — paper: SFS comparable to TS",
+            xlabel="disksim processes",
+            ylabel="response (ms)",
+        )
+    )
+    return "\n".join(lines)

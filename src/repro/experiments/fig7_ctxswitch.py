@@ -1,0 +1,67 @@
+"""Figure 7 — context-switch overhead vs number of processes (0 KB).
+
+§4.5: *"Figure 7 plots the context switch overhead imposed by the two
+schedulers for varying number of 0 KB processes [...] the context
+switch overhead increases sharply as the number of processes increases
+from 0 to 5, and then grows with the number of processes. [...]
+Interestingly, the Linux time sharing scheduler also imposes an
+overhead that grows with the number of processes."*
+
+Runs the lmbench lat_ctx ring (0 KB working sets) for a sweep of ring
+sizes under both schedulers. Expected shape: both curves grow with the
+process count; SFS sits a few microseconds above time sharing; both
+stay within the paper's 0-10 us band at 50 processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.charts import line_chart
+from repro.experiments.table1_lmbench import measure_ctx
+
+__all__ = ["Fig7Result", "run", "render"]
+
+RING_SIZES = (2, 3, 5, 8, 12, 16, 24, 32, 40, 50)
+
+
+@dataclass
+class Fig7Result:
+    """scheduler name -> list of (nprocs, seconds per switch)."""
+
+    curves: dict[str, list[tuple[int, float]]] = field(default_factory=dict)
+
+
+def run(
+    ring_sizes: tuple[int, ...] = RING_SIZES,
+    passes: int = 1500,
+) -> Fig7Result:
+    """Sweep ring sizes for both schedulers."""
+    result = Fig7Result()
+    for name in ("linux-ts", "sfs"):
+        result.curves[name] = [
+            (n, measure_ctx(name, n, kb=0.0, passes=passes))
+            for n in ring_sizes
+        ]
+    return result
+
+
+def render(result: Fig7Result) -> str:
+    lines = ["Figure 7 — context-switch time vs number of 0 KB processes"]
+    for name, points in result.curves.items():
+        row = "  ".join(f"n={n}:{1e6 * s:5.2f}us" for n, s in points)
+        lines.append(f"  {name:10s} {row}")
+    lines.append("")
+    series = {
+        name: [(float(n), 1e6 * s) for n, s in pts]
+        for name, pts in result.curves.items()
+    }
+    lines.append(
+        line_chart(
+            series,
+            title="context switch time (us) — paper: both grow, SFS above TS",
+            xlabel="number of processes",
+            ylabel="microseconds",
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Sensitivity study backing the Fig. 5 reproduction notes.
+
+EXPERIMENTS.md claims that the short-jobs outcome is *noise-sensitive*:
+quantum-granularity SFS admits a family of neutrally-stable orbits, so
+the T_short group's share depends on the timer noise present. This
+module quantifies that claim by sweeping ``quantum_jitter`` across
+several seeds and reporting the distribution of T_short's share — and,
+as the control, showing the GMS-reference scheduler's share is
+insensitive to the same noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.sfs import SurplusFairScheduler
+from repro.experiments.common import add_inf, add_inf_group, make_machine
+from repro.schedulers.gms_reference import GMSReferenceScheduler
+from repro.workloads.shortjobs import ShortJobFeeder
+
+__all__ = ["SensitivityResult", "run", "render", "IDEAL_SHORT_SHARE"]
+
+HORIZON = 30.0
+IDEAL_SHORT_SHARE = 5 / 45
+
+
+@dataclass
+class SensitivityResult:
+    """T_short machine share per (scheduler, jitter, seed)."""
+
+    #: (scheduler, jitter) -> list of shares across seeds
+    shares: dict[tuple[str, float], list[float]] = field(default_factory=dict)
+
+    def spread(self, scheduler: str, jitter: float) -> float:
+        values = self.shares[(scheduler, jitter)]
+        return max(values) - min(values)
+
+    def mean(self, scheduler: str, jitter: float) -> float:
+        values = self.shares[(scheduler, jitter)]
+        return sum(values) / len(values)
+
+
+def _one(scheduler_name: str, jitter: float, seed: int) -> float:
+    if scheduler_name == "sfs":
+        scheduler = SurplusFairScheduler()
+    elif scheduler_name == "gms-reference":
+        scheduler = GMSReferenceScheduler()
+    else:
+        raise ValueError(f"unsupported scheduler {scheduler_name!r}")
+    machine = make_machine(
+        scheduler,
+        quantum_jitter=jitter,
+        jitter_seed=seed,
+        record_events=False,
+        sample_service=False,
+    )
+    add_inf(machine, 20, "T1")
+    add_inf_group(machine, 20, 1, "T")
+    feeder = ShortJobFeeder(machine, weight=5, job_cpu=0.3)
+    machine.run_until(HORIZON)
+    return feeder.total_service() / machine.total_capacity(0.0, HORIZON)
+
+
+def run(
+    jitters: tuple[float, ...] = (0.0, 0.02, 0.05, 0.10),
+    seeds: tuple[int, ...] = (1, 2, 3),
+    schedulers: tuple[str, ...] = ("sfs", "gms-reference"),
+) -> SensitivityResult:
+    """Sweep jitter x seed for each scheduler."""
+    result = SensitivityResult()
+    for name in schedulers:
+        for jitter in jitters:
+            result.shares[(name, jitter)] = [
+                _one(name, jitter, seed) for seed in seeds
+            ]
+    return result
+
+
+def render(result: SensitivityResult) -> str:
+    lines = [
+        "Fig. 5 sensitivity — T_short machine share vs timer jitter "
+        f"(ideal {IDEAL_SHORT_SHARE:.3f})",
+    ]
+    by_sched: dict[str, list[tuple[float, list[float]]]] = {}
+    for (name, jitter), values in result.shares.items():
+        by_sched.setdefault(name, []).append((jitter, values))
+    for name, rows in by_sched.items():
+        lines.append(f"  {name}:")
+        for jitter, values in sorted(rows):
+            formatted = " ".join(f"{v:.3f}" for v in values)
+            lines.append(
+                f"    jitter={jitter:4.2f}: shares [{formatted}] "
+                f"(mean {sum(values) / len(values):.3f})"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Baseline CPU schedulers the paper compares (or relates) SFS against.
+
+- :class:`StartTimeFairScheduler` — SFQ, the principal baseline
+  (Figs. 1, 4, 5), with optional §2.1 weight readjustment;
+- :class:`LinuxTimeSharingScheduler` — the Linux 2.2 goodness/epoch
+  scheduler (Figs. 6(b), 6(c), Table 1, Fig. 7);
+- :class:`StrideScheduler`, :class:`WeightedFairQueueingScheduler`,
+  :class:`BorrowedVirtualTimeScheduler`, :class:`LotteryScheduler` —
+  the other GPS instantiations §1.2 names as sharing SFQ's
+  multiprocessor pathologies;
+- :class:`RoundRobinScheduler` — a weight-oblivious control.
+
+SFS itself lives in :mod:`repro.core`.
+"""
+
+from repro.schedulers.bvt import BorrowedVirtualTimeScheduler
+from repro.schedulers.gms_reference import GMSReferenceScheduler
+from repro.schedulers.linux_ts import LinuxTimeSharingScheduler
+from repro.schedulers.lottery import LotteryScheduler
+from repro.schedulers.registry import SCHEDULERS, make_scheduler, scheduler_names
+from repro.schedulers.round_robin import RoundRobinScheduler
+from repro.schedulers.sfq import StartTimeFairScheduler
+from repro.schedulers.simple import SimpleQueueScheduler
+from repro.schedulers.stride import StrideScheduler
+from repro.schedulers.wfq import WeightedFairQueueingScheduler
+
+__all__ = [
+    "BorrowedVirtualTimeScheduler",
+    "GMSReferenceScheduler",
+    "LinuxTimeSharingScheduler",
+    "LotteryScheduler",
+    "RoundRobinScheduler",
+    "SCHEDULERS",
+    "SimpleQueueScheduler",
+    "StartTimeFairScheduler",
+    "StrideScheduler",
+    "WeightedFairQueueingScheduler",
+    "make_scheduler",
+    "scheduler_names",
+]

@@ -1,0 +1,48 @@
+"""Lottery scheduling [Waldspurger & Weihl, OSDI'94].
+
+Randomized proportional sharing: each scheduling instance holds a
+lottery over the runnable threads with tickets proportional to their
+instantaneous weights. Fairness holds only in expectation — the
+variance shows up clearly against SFS in the ablation benches.
+
+Included because the paper cites it as the classic proportional-share
+mechanism [30]; like the other GPS-derived policies it accepts
+``readjust=True`` to cap infeasible ticket allocations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.schedulers.simple import SimpleQueueScheduler
+from repro.sim.costs import DecisionCostParams
+from repro.sim.task import Task, TaskState
+
+__all__ = ["LotteryScheduler"]
+
+
+class LotteryScheduler(SimpleQueueScheduler):
+    """Randomized ticket-proportional scheduling."""
+
+    name = "lottery"
+
+    decision_cost_params = DecisionCostParams(base=0.6e-6, per_thread=0.04e-6)
+
+    def __init__(self, seed: int = 0, readjust: bool = False) -> None:
+        super().__init__(readjust=readjust)
+        self.rng = random.Random(seed)
+        if readjust:
+            self.name = "lottery+readjust"
+
+    def pick_next(self, cpu: int, now: float) -> Task | None:
+        candidates = self.schedulable()
+        if not candidates:
+            return None
+        total = sum(t.phi for t in candidates)
+        draw = self.rng.uniform(0.0, total)
+        acc = 0.0
+        for task in candidates:
+            acc += task.phi
+            if draw <= acc:
+                return task
+        return candidates[-1]  # float round-off fallback

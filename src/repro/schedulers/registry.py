@@ -1,0 +1,61 @@
+"""Name -> scheduler factory registry.
+
+Used by the experiment CLI and the ablation benchmarks to sweep the
+same workload across every policy. Factories take no arguments;
+policies with options register several pre-configured variants.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.hierarchical import HierarchicalSurplusFairScheduler
+from repro.core.sfs import SurplusFairScheduler
+from repro.core.sfs_heuristic import HeuristicSurplusFairScheduler
+from repro.schedulers.bvt import BorrowedVirtualTimeScheduler
+from repro.schedulers.gms_reference import GMSReferenceScheduler
+from repro.schedulers.linux_ts import LinuxTimeSharingScheduler
+from repro.schedulers.lottery import LotteryScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+from repro.schedulers.sfq import StartTimeFairScheduler
+from repro.schedulers.stride import StrideScheduler
+from repro.schedulers.wfq import WeightedFairQueueingScheduler
+from repro.sim.scheduler import Scheduler
+
+__all__ = ["SCHEDULERS", "make_scheduler", "scheduler_names"]
+
+SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
+    "sfs": lambda: SurplusFairScheduler(),
+    "sfs-noreadjust": lambda: SurplusFairScheduler(readjust=False),
+    "sfs-affinity": lambda: SurplusFairScheduler(affinity_bonus=0.05),
+    "sfs-heuristic": lambda: HeuristicSurplusFairScheduler(),
+    "hierarchical-sfs": lambda: HierarchicalSurplusFairScheduler(),
+    "sfq": lambda: StartTimeFairScheduler(),
+    "sfq-readjust": lambda: StartTimeFairScheduler(readjust=True),
+    "gms-reference": lambda: GMSReferenceScheduler(),
+    "linux-ts": lambda: LinuxTimeSharingScheduler(),
+    "stride": lambda: StrideScheduler(),
+    "stride-readjust": lambda: StrideScheduler(readjust=True),
+    "wfq": lambda: WeightedFairQueueingScheduler(),
+    "wfq-readjust": lambda: WeightedFairQueueingScheduler(readjust=True),
+    "bvt": lambda: BorrowedVirtualTimeScheduler(),
+    "bvt-readjust": lambda: BorrowedVirtualTimeScheduler(readjust=True),
+    "lottery": lambda: LotteryScheduler(),
+    "lottery-readjust": lambda: LotteryScheduler(readjust=True),
+    "round-robin": lambda: RoundRobinScheduler(),
+}
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a fresh scheduler by registry name."""
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULERS))
+        raise ValueError(f"unknown scheduler {name!r}; known: {known}") from None
+    return factory()
+
+
+def scheduler_names() -> list[str]:
+    """All registered scheduler names, sorted."""
+    return sorted(SCHEDULERS)

@@ -1,0 +1,51 @@
+"""Weight-oblivious round-robin — the simplest work-conserving baseline.
+
+Serves as a control in tests (equal shares regardless of weights) and
+as the degenerate case of GMS with all-equal instantaneous weights.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.schedulers.simple import SimpleQueueScheduler
+from repro.sim.costs import DecisionCostParams
+from repro.sim.task import Task, TaskState
+
+__all__ = ["RoundRobinScheduler"]
+
+
+class RoundRobinScheduler(SimpleQueueScheduler):
+    """FIFO circular scheduling with the machine's default quantum."""
+
+    name = "round-robin"
+
+    decision_cost_params = DecisionCostParams(base=0.3e-6)
+
+    def __init__(self) -> None:
+        super().__init__(readjust=False)
+        self._fifo: deque[Task] = deque()
+
+    def _enter(self, task: Task, now: float) -> None:
+        self._fifo.append(task)
+
+    def _leave(self, task: Task, now: float) -> None:
+        try:
+            self._fifo.remove(task)
+        except ValueError:
+            pass
+
+    def on_preempt(self, task: Task, now: float, ran: float) -> None:
+        super().on_preempt(task, now, ran)
+        # Rotate to the back of the queue.
+        try:
+            self._fifo.remove(task)
+        except ValueError:
+            pass
+        self._fifo.append(task)
+
+    def pick_next(self, cpu: int, now: float) -> Task | None:
+        for task in self._fifo:
+            if task.state is TaskState.RUNNABLE:
+                return task
+        return None

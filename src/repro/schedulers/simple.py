@@ -1,0 +1,93 @@
+"""Shared machinery for the non-tag-based baseline schedulers.
+
+Stride, lottery and round-robin only need a runnable set plus optional
+§2.1 weight readjustment (`task.phi` maintenance); this base class
+provides exactly that so each policy file contains only its policy.
+"""
+
+from __future__ import annotations
+
+from repro.core.weights import readjust_tasks
+from repro.sim.scheduler import Scheduler
+from repro.sim.task import Task, TaskState
+
+__all__ = ["SimpleQueueScheduler"]
+
+
+class SimpleQueueScheduler(Scheduler):
+    """Runnable-set bookkeeping + optional weight readjustment."""
+
+    def __init__(self, readjust: bool = False) -> None:
+        super().__init__()
+        self.readjust = readjust
+        self._runnable: dict[int, Task] = {}
+
+    # -- hooks ---------------------------------------------------------
+
+    def on_arrival(self, task: Task, now: float) -> None:
+        if not self.readjust:
+            task.phi = task.weight
+        self._runnable[task.tid] = task
+        self._enter(task, now)
+        self._apply_readjustment()
+
+    def on_wakeup(self, task: Task, now: float) -> None:
+        if not self.readjust:
+            task.phi = task.weight
+        self._runnable[task.tid] = task
+        self._resume(task, now)
+        self._apply_readjustment()
+
+    def on_block(self, task: Task, now: float, ran: float) -> None:
+        self._account(task, now, ran)
+        self._runnable.pop(task.tid, None)
+        self._leave(task, now)
+        self._apply_readjustment()
+
+    def on_preempt(self, task: Task, now: float, ran: float) -> None:
+        self._account(task, now, ran)
+
+    def on_exit(self, task: Task, now: float, ran: float) -> None:
+        if ran > 0:
+            self._account(task, now, ran)
+        self._runnable.pop(task.tid, None)
+        self._leave(task, now)
+        self._apply_readjustment()
+
+    def on_weight_change(self, task: Task, old_weight: float, now: float) -> None:
+        if not self.readjust:
+            task.phi = task.weight
+        self._apply_readjustment()
+
+    # -- extension points ------------------------------------------------
+
+    def _enter(self, task: Task, now: float) -> None:
+        """A new task joined the runnable set."""
+
+    def _resume(self, task: Task, now: float) -> None:
+        """A blocked task rejoined the runnable set."""
+        self._enter(task, now)
+
+    def _leave(self, task: Task, now: float) -> None:
+        """A task left the runnable set (block or exit)."""
+
+    def _account(self, task: Task, now: float, ran: float) -> None:
+        """The task just ran ``ran`` seconds (any reason)."""
+
+    # -- shared helpers ---------------------------------------------------
+
+    def _apply_readjustment(self) -> None:
+        if not self.readjust or self.machine is None:
+            return
+        readjust_tasks(list(self._runnable.values()), self.machine.num_cpus)
+
+    def schedulable(self) -> list[Task]:
+        """Runnable tasks not currently on a CPU, in tid order."""
+        return [
+            self._runnable[tid]
+            for tid in sorted(self._runnable)
+            if self._runnable[tid].state is TaskState.RUNNABLE
+        ]
+
+    def runnable_tasks(self) -> list[Task]:
+        return [self._runnable[tid] for tid in sorted(self._runnable)]

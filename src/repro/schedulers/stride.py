@@ -1,0 +1,73 @@
+"""Stride scheduling [Waldspurger & Weihl, TM-528 1995].
+
+A deterministic GPS instantiation the paper lists among the algorithms
+that "also suffer from this drawback when employed for multiprocessors"
+(§1.2). Each thread has ``stride = STRIDE1 / phi`` and a ``pass``
+value; the scheduler always runs the thread with the minimum pass and
+charges it one stride per quantum.
+
+Two classical properties distinguish it from SFQ in our experiments:
+
+- pass is charged **per quantum granted**, not per time actually run,
+  so threads that block early are over-charged (stride's known
+  I/O-unfriendliness);
+- arriving threads join at the global pass (minimum pass over runnable
+  threads), which reproduces the same short-jobs pathology as SFQ.
+
+Pass ``readjust=True`` to couple it with §2.1 weight readjustment (the
+ablation of Fig. 4 generalized to other GPS schedulers).
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.simple import SimpleQueueScheduler
+from repro.sim.costs import DecisionCostParams
+from repro.sim.task import Task, TaskState
+
+__all__ = ["StrideScheduler", "STRIDE1"]
+
+#: the large constant whose division produces integer-ish strides
+STRIDE1 = 1 << 20
+
+
+class StrideScheduler(SimpleQueueScheduler):
+    """Deterministic proportional-share scheduling via strides."""
+
+    name = "stride"
+
+    decision_cost_params = DecisionCostParams(base=0.7e-6, per_thread=0.05e-6)
+
+    def __init__(self, readjust: bool = False) -> None:
+        super().__init__(readjust=readjust)
+        if readjust:
+            self.name = "stride+readjust"
+
+    def _global_pass(self) -> float:
+        passes = [
+            t.sched["pass"] for t in self._runnable.values() if "pass" in t.sched
+        ]
+        return min(passes) if passes else 0.0
+
+    def _enter(self, task: Task, now: float) -> None:
+        task.sched["pass"] = self._global_pass()
+
+    def _resume(self, task: Task, now: float) -> None:
+        # Returning threads may not bank credit while asleep.
+        task.sched["pass"] = max(task.sched.get("pass", 0.0), self._global_pass())
+
+    def _account(self, task: Task, now: float, ran: float) -> None:
+        # Classical stride charges a full stride per quantum *granted*,
+        # regardless of how much of it was used.
+        task.sched["pass"] = task.sched.get("pass", 0.0) + STRIDE1 / task.phi
+
+    def pick_next(self, cpu: int, now: float) -> Task | None:
+        best: Task | None = None
+        best_key = None
+        for task in self._runnable.values():
+            if task.state is not TaskState.RUNNABLE:
+                continue
+            key = (task.sched.get("pass", 0.0), task.tid)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = task
+        return best

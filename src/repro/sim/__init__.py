@@ -1,0 +1,71 @@
+"""Discrete-event symmetric-multiprocessor simulator substrate.
+
+This package provides the machine on which every scheduler in the
+repository runs: an event engine, a task/thread model with
+Run/Block/Exit behaviours, per-CPU quantum management with
+unsynchronized quanta, cost models for context switches, and trace /
+metrics collection.
+
+Quick example::
+
+    from repro.sim import Machine, Task
+    from repro.workloads import Infinite
+    from repro.core import SurplusFairScheduler
+
+    machine = Machine(SurplusFairScheduler(), cpus=2)
+    a = machine.add_task(Task(Infinite(), weight=1, name="A"))
+    b = machine.add_task(Task(Infinite(), weight=2, name="B"))
+    machine.run_until(10.0)
+    print(a.service, b.service)
+"""
+
+from repro.sim.costs import (
+    CostModel,
+    DecisionCostParams,
+    TESTBED_COST,
+    ZERO_COST,
+)
+from repro.sim.engine import Engine, EventHandle
+from repro.sim.events import Block, Exit, Run, RUN_FOREVER, Segment
+from repro.sim.machine import Machine
+from repro.sim.metrics import (
+    iterations_series,
+    sample_series,
+    service_at,
+    service_between,
+    share_between,
+    shares,
+)
+from repro.sim.processor import Processor
+from repro.sim.runqueue import SortedTaskList
+from repro.sim.scheduler import Scheduler
+from repro.sim.task import Task, TaskState
+from repro.sim.tracing import Trace, TraceEvent
+
+__all__ = [
+    "Block",
+    "CostModel",
+    "DecisionCostParams",
+    "Engine",
+    "EventHandle",
+    "Exit",
+    "Machine",
+    "Processor",
+    "Run",
+    "RUN_FOREVER",
+    "Scheduler",
+    "Segment",
+    "SortedTaskList",
+    "Task",
+    "TaskState",
+    "TESTBED_COST",
+    "Trace",
+    "TraceEvent",
+    "ZERO_COST",
+    "iterations_series",
+    "sample_series",
+    "service_at",
+    "service_between",
+    "share_between",
+    "shares",
+]

@@ -1,0 +1,133 @@
+"""A minimal, deterministic discrete-event engine.
+
+The engine maintains a priority queue of timestamped callbacks. Events
+scheduled at identical times fire in the order they were scheduled
+(FIFO), which keeps every simulation in this repository bit-for-bit
+reproducible.
+
+The engine knows nothing about CPUs or schedulers; the machine layer
+(:mod:`repro.sim.machine`) builds on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+__all__ = ["Engine", "EventHandle"]
+
+
+class EventHandle:
+    """Handle to a scheduled event; allows O(1) cancellation.
+
+    Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.6f} {self.fn.__name__} ({state})>"
+
+
+class Engine:
+    """Discrete-event simulation clock and event queue."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[EventHandle] = []
+        self._seq = 0
+        self._fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events processed so far (instrumentation)."""
+        return self._fired
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def schedule_at(self, when: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to fire at absolute time ``when``.
+
+        Raises ``ValueError`` if ``when`` is in the past; simultaneous
+        events fire in scheduling order.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule event in the past: {when} < now {self._now}"
+            )
+        handle = EventHandle(when, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def step(self) -> bool:
+        """Fire the next pending event. Returns False if queue is empty."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            self._fired += 1
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run_until(self, t_end: float) -> None:
+        """Process all events with time <= ``t_end``; leave now == t_end.
+
+        Events scheduled exactly at ``t_end`` do fire.
+        """
+        if t_end < self._now:
+            raise ValueError(f"t_end {t_end} is in the past (now={self._now})")
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > t_end:
+                break
+            self.step()
+        self._now = t_end
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until the event queue is empty.
+
+        ``max_events`` bounds the number of events fired (a safety valve
+        for workloads that regenerate events forever). Returns the number
+        of events fired by this call.
+        """
+        fired = 0
+        while self.step():
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        return fired

@@ -1,0 +1,512 @@
+"""The simulated symmetric multiprocessor machine.
+
+:class:`Machine` binds an :class:`~repro.sim.engine.Engine`, ``p``
+:class:`~repro.sim.processor.Processor` instances and one scheduler, and
+drives tasks through their behaviour segments. It reproduces the
+scheduling surface of the paper's Linux 2.2.14 implementation (§3.1):
+
+- the scheduler is invoked *per CPU* whenever that CPU's quantum expires
+  or its current thread blocks/exits — quanta across processors are not
+  synchronized;
+- the scheduler is notified on every arrival, wakeup, block, departure
+  and weight change (the points at which the paper re-runs weight
+  readjustment);
+- a running thread may relinquish the processor before its quantum ends
+  (variable-length quanta, the ``q`` of Eq. 5);
+- optionally, a newly woken thread may preempt a running one (Linux
+  2.2's ``reschedule_idle()``), with the victim chosen by the scheduler.
+
+Context-switch and scheduler-decision overheads are charged as CPU dead
+time via a :class:`~repro.sim.costs.CostModel`; the default is zero cost
+so that allocation studies and tests are exact. Overhead experiments
+(Table 1 / Fig. 7) pass ``TESTBED_COST``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.sim.costs import ZERO_COST, CostModel
+from repro.sim.engine import Engine, EventHandle
+from repro.sim.events import Block, Exit, Run, Segment
+from repro.sim.processor import Processor
+from repro.sim.scheduler import Scheduler
+from repro.sim.task import Task, TaskState
+from repro.sim import tracing
+from repro.sim.tracing import Trace
+
+__all__ = ["Machine"]
+
+#: tolerance for "segment completes exactly at quantum end" comparisons
+_EPS = 1e-12
+
+
+class Machine:
+    """A ``p``-CPU symmetric multiprocessor driven by one scheduler.
+
+    Parameters
+    ----------
+    scheduler:
+        The CPU scheduling policy (attached exclusively to this machine).
+    cpus:
+        Number of processors ``p`` (the paper's testbed has 2).
+    quantum:
+        Default maximum quantum in seconds (paper: 200 ms).
+    cost_model:
+        Context-switch / decision cost model; default zero.
+    sample_service:
+        Record per-task (time, cumulative service) points for plotting.
+    record_events:
+        Record the runnable-set timeline for GMS-oracle replay.
+    preempt_on_wake:
+        Allow the scheduler to preempt a running task when another wakes
+        (Linux 2.2 semantics). Schedulers opt in via ``choose_victim``.
+    check_work_conserving:
+        Raise if the scheduler idles a CPU while runnable tasks wait
+        (used by tests; §1.2 footnote 2 defines work conservation).
+    quantum_jitter:
+        Relative jitter applied to every granted time slice (e.g. 0.05
+        gives slices uniform in [0.95q, 1.05q]). Models the timer-tick
+        truncation and interrupt-arrival variability of real hardware
+        — Linux 2.2 decrements quanta in 10 ms ticks, so a nominal
+        200 ms quantum really ends on a tick boundary. A deterministic
+        PRNG (``jitter_seed``) keeps runs reproducible. Zero disables.
+        This matters: §4.3's short-jobs experiment is sensitive to the
+        synchronization noise of the real testbed (see EXPERIMENTS.md).
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        cpus: int = 2,
+        quantum: float = 0.2,
+        cost_model: CostModel = ZERO_COST,
+        engine: Engine | None = None,
+        sample_service: bool = True,
+        record_events: bool = True,
+        preempt_on_wake: bool = True,
+        check_work_conserving: bool = False,
+        quantum_jitter: float = 0.0,
+        jitter_seed: int = 0,
+    ) -> None:
+        if cpus < 1:
+            raise ValueError(f"need at least one CPU, got {cpus}")
+        if quantum <= 0:
+            raise ValueError(f"quantum must be > 0, got {quantum}")
+        if not 0.0 <= quantum_jitter < 1.0:
+            raise ValueError(
+                f"quantum_jitter must be in [0, 1), got {quantum_jitter}"
+            )
+        self.engine = engine if engine is not None else Engine()
+        self.scheduler = scheduler
+        self.quantum = float(quantum)
+        self.quantum_jitter = float(quantum_jitter)
+        self._jitter_rng = random.Random(jitter_seed)
+        self.cost_model = cost_model
+        self.sample_service = sample_service
+        self.preempt_on_wake = preempt_on_wake
+        self.check_work_conserving = check_work_conserving
+        self.processors = [Processor(i) for i in range(cpus)]
+        self.tasks: list[Task] = []
+        self.trace = Trace(record_events=record_events)
+        self._known: set[int] = set()  # tids the scheduler has seen
+        self._added: set[int] = set()  # tids ever passed to add_task
+        self._runnable: dict[int, Task] = {}  # RUNNABLE + RUNNING tasks
+        self._wake_handles: dict[int, EventHandle] = {}
+        self._prev_task: dict[int, Task | None] = {p.cpu_id: None for p in self.processors}
+        #: observers invoked as fn(task, now) when a task exits
+        self.on_task_exit: list = []
+        scheduler.attach(self)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.engine.now
+
+    @property
+    def num_cpus(self) -> int:
+        return len(self.processors)
+
+    @property
+    def runnable_count(self) -> int:
+        """Number of runnable (incl. running) tasks."""
+        return len(self._runnable)
+
+    @property
+    def live_count(self) -> int:
+        """Number of arrived, non-exited tasks (runnable or blocked)."""
+        return sum(1 for t in self.tasks if t.state is not TaskState.EXITED)
+
+    def runnable_tasks(self) -> list[Task]:
+        """Snapshot of runnable (incl. running) tasks, by tid."""
+        return [self._runnable[tid] for tid in sorted(self._runnable)]
+
+    def running_tasks(self) -> dict[int, Task]:
+        """Map of cpu_id -> currently running task (busy CPUs only)."""
+        return {p.cpu_id: p.task for p in self.processors if p.task is not None}
+
+    def previous_task(self, cpu: int) -> Task | None:
+        """The task that last ran on ``cpu`` (None if never used).
+
+        Exposed for affinity-aware schedulers: the §5 extension lets a
+        CPU prefer its previous thread among near-tied candidates.
+        """
+        return self._prev_task[cpu]
+
+    def add_task(self, task: Task, at: float = 0.0) -> Task:
+        """Register ``task`` to arrive at absolute time ``at``."""
+        if task.state is not TaskState.NEW or task.tid in self._added:
+            raise ValueError(f"{task.name} has already been added")
+        self._added.add(task.tid)
+        self.engine.schedule_at(max(at, self.now), self._arrive, task)
+        return task
+
+    def set_weight_at(self, task: Task, weight: float, at: float) -> None:
+        """Schedule a setweight() call (§3.1) at absolute time ``at``."""
+        self.engine.schedule_at(at, self.change_weight, task, weight)
+
+    def change_weight(self, task: Task, weight: float) -> None:
+        """Change a task's weight immediately (on-the-fly, as §3.1 allows)."""
+        old = task.weight
+        task.weight = weight
+        if task.is_runnable:
+            self.trace.record(self.now, tracing.WEIGHT, task)
+        self.scheduler.on_weight_change(task, old, self.now)
+
+    def kill_task_at(self, task: Task, at: float) -> None:
+        """Schedule an external kill (the paper stops T2 at t=30 s, Fig. 4)."""
+        self.engine.schedule_at(at, self.kill_task, task)
+
+    def kill_task(self, task: Task) -> None:
+        """Terminate ``task`` immediately, whatever its state."""
+        now = self.now
+        if task.state is TaskState.EXITED:
+            return
+        if task.state is TaskState.RUNNING:
+            proc = self._processor_of(task)
+            self._charge(proc, now)
+            ran = max(0.0, now - proc.dispatch_time)
+            self._vacate(proc)
+            self._retire(task, now, ran)
+            self._schedule_cpu(proc)
+        elif task.state is TaskState.RUNNABLE:
+            self._retire(task, now, 0.0)
+        elif task.state is TaskState.BLOCKED:
+            handle = self._wake_handles.pop(task.tid, None)
+            if handle is not None:
+                handle.cancel()
+            task.state = TaskState.EXITED
+            task.exit_time = now
+            self._notify_exit(task, now)
+        else:  # NEW — never arrived; nothing to clean up
+            task.state = TaskState.EXITED
+            task.exit_time = now
+            self._notify_exit(task, now)
+
+    def signal(self, task: Task) -> None:
+        """Wake a blocked task immediately (condition-variable wakeup).
+
+        Tasks blocked with ``Block(math.inf)`` wait for an explicit
+        signal — this models pipe reads, futexes, and the token passing
+        of the lmbench lat_ctx ring. Signalling a non-blocked task is a
+        no-op (the signal is lost, as with a condition variable).
+        """
+        if task.state is not TaskState.BLOCKED:
+            return
+        handle = self._wake_handles.pop(task.tid, None)
+        if handle is not None:
+            handle.cancel()
+        self._wake(task)
+
+    def signal_later(self, task: Task, delay: float = 0.0) -> None:
+        """Schedule a :meth:`signal` after ``delay`` seconds.
+
+        With ``delay=0`` the signal fires after the current event
+        finishes processing — safe to call from behaviour code.
+        """
+        self.engine.schedule_after(delay, self.signal, task)
+
+    def run_until(self, t_end: float) -> None:
+        """Advance the simulation to ``t_end`` and settle accounting.
+
+        Service of still-running tasks is charged up to ``t_end`` so
+        that task.service is exact at the stop time.
+        """
+        self.engine.run_until(t_end)
+        for proc in self.processors:
+            if proc.task is not None:
+                self._charge(proc, t_end)
+
+    def total_capacity(self, t0: float, t1: float) -> float:
+        """CPU-seconds the machine offers over [t0, t1)."""
+        return self.num_cpus * max(0.0, t1 - t0)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+
+    def _arrive(self, task: Task) -> None:
+        now = self.now
+        task.arrival_time = now
+        self.tasks.append(task)
+        segment = task.behavior.start(now)
+        if isinstance(segment, Run):
+            task.remaining_run = segment.duration
+            task.state = TaskState.RUNNABLE
+            self._runnable[task.tid] = task
+            self.trace.record(now, tracing.ARRIVE, task)
+            self._known.add(task.tid)
+            self.scheduler.on_arrival(task, now)
+            self._try_place(task)
+        elif isinstance(segment, Block):
+            task.state = TaskState.BLOCKED
+            self._schedule_wake(task, segment.duration)
+        elif isinstance(segment, Exit):
+            task.state = TaskState.EXITED
+            task.exit_time = now
+            self._notify_exit(task, now)
+        else:
+            raise TypeError(f"bad initial segment {segment!r} from {task.name}")
+
+    def _wake(self, task: Task) -> None:
+        if task.state is not TaskState.BLOCKED:
+            return
+        now = self.now
+        self._wake_handles.pop(task.tid, None)
+        segment: Segment = task.advance_behavior(now)
+        if isinstance(segment, Block):
+            # The behaviour chained another sleep; stay blocked.
+            self._schedule_wake(task, segment.duration)
+            return
+        if isinstance(segment, Exit):
+            task.state = TaskState.EXITED
+            task.exit_time = now
+            self._notify_exit(task, now)
+            return
+        task.remaining_run = segment.duration
+        task.state = TaskState.RUNNABLE
+        self._runnable[task.tid] = task
+        if task.tid in self._known:
+            self.trace.record(now, tracing.WAKE, task)
+            self.scheduler.on_wakeup(task, now)
+        else:
+            # First time this task becomes runnable: it is an arrival
+            # from the scheduler's point of view.
+            self.trace.record(now, tracing.ARRIVE, task)
+            self._known.add(task.tid)
+            self.scheduler.on_arrival(task, now)
+        self._try_place(task)
+
+    def _quantum_expiry(self, proc: Processor, seq: int) -> None:
+        if proc.seq != seq or proc.task is None:
+            return  # stale timer
+        now = self.now
+        task = proc.task
+        self._charge(proc, now)
+        ran = max(0.0, now - proc.dispatch_time)
+        self._vacate(proc)
+        task.state = TaskState.RUNNABLE
+        task.preempt_count += 1
+        self.trace.preemptions += 1
+        self.scheduler.on_preempt(task, now, ran)
+        self._schedule_cpu(proc)
+
+    def _segment_end(self, proc: Processor, seq: int) -> None:
+        if proc.seq != seq or proc.task is None:
+            return  # stale timer
+        now = self.now
+        task = proc.task
+        self._charge(proc, now)
+        segment = task.advance_behavior(now)
+        if isinstance(segment, Run):
+            # The task keeps computing: stay on-CPU inside the same
+            # quantum, with no scheduler involvement.
+            task.remaining_run = segment.duration
+            proc.segment_handle = None
+            if math.isfinite(task.remaining_run):
+                seg_end = now + task.remaining_run
+                if seg_end <= proc.quantum_end + _EPS:
+                    proc.segment_handle = self.engine.schedule_at(
+                        seg_end, self._segment_end, proc, proc.seq
+                    )
+            return
+        ran = max(0.0, now - proc.dispatch_time)
+        self._vacate(proc)
+        if isinstance(segment, Block):
+            task.state = TaskState.BLOCKED
+            task.block_count += 1
+            self._runnable.pop(task.tid, None)
+            self.trace.record(now, tracing.BLOCK, task)
+            self.scheduler.on_block(task, now, ran)
+            self._schedule_wake(task, segment.duration)
+        else:  # Exit
+            self._retire(task, now, ran)
+        self._schedule_cpu(proc)
+
+    # ------------------------------------------------------------------
+    # dispatch machinery
+    # ------------------------------------------------------------------
+
+    def _try_place(self, task: Task) -> None:
+        """Place a newly runnable task: idle CPU first, else maybe preempt."""
+        for proc in self.processors:
+            if proc.idle:
+                self._schedule_cpu(proc)
+                return
+        if not self.preempt_on_wake:
+            return
+        running = self.running_tasks()
+        victim_cpu = self.scheduler.choose_victim(task, running, self.now)
+        if victim_cpu is None:
+            return
+        proc = self.processors[victim_cpu]
+        if proc.task is None:  # scheduler raced us; just dispatch
+            self._schedule_cpu(proc)
+            return
+        self._force_preempt(proc)
+        self._schedule_cpu(proc)
+
+    def _force_preempt(self, proc: Processor) -> None:
+        """Evict the running task on ``proc`` (wakeup preemption)."""
+        now = self.now
+        task = proc.task
+        assert task is not None
+        self._charge(proc, now)
+        ran = max(0.0, now - proc.dispatch_time)
+        self._vacate(proc)
+        task.state = TaskState.RUNNABLE
+        task.preempt_count += 1
+        self.trace.preemptions += 1
+        self.scheduler.on_preempt(task, now, ran)
+
+    def _schedule_cpu(self, proc: Processor) -> None:
+        """Run one scheduling decision for an idle CPU."""
+        now = self.now
+        self.trace.decisions += 1
+        task = self.scheduler.pick_next(proc.cpu_id, now)
+        if task is None:
+            if self.check_work_conserving:
+                waiting = [
+                    t for t in self._runnable.values()
+                    if t.state is TaskState.RUNNABLE
+                ]
+                if waiting:
+                    raise AssertionError(
+                        f"{self.scheduler.name} idled CPU {proc.cpu_id} with "
+                        f"{len(waiting)} runnable task(s) waiting"
+                    )
+            return
+        if task.state is not TaskState.RUNNABLE:
+            raise AssertionError(
+                f"{self.scheduler.name} picked {task.name} in state "
+                f"{task.state.value}"
+            )
+        self._dispatch(proc, task)
+
+    def _dispatch(self, proc: Processor, task: Task) -> None:
+        now = self.now
+        prev = self._prev_task[proc.cpu_id]
+        cost = 0.0
+        if prev is not task:
+            if self.cost_model.decision_count_mode == "live":
+                count = self.live_count
+            else:
+                count = self.runnable_count
+            decision = self.scheduler.decision_cost(count)
+            prev_kb = prev.footprint_kb if prev is not None else None
+            cost = self.cost_model.switch_cost(prev_kb, task.footprint_kb, decision)
+            self.trace.context_switches += 1
+        self.trace.dispatches += 1
+        proc.seq += 1
+        proc.task = task
+        task.state = TaskState.RUNNING
+        task.last_cpu = proc.cpu_id
+        task.dispatch_count += 1
+        start = now + cost
+        proc.overhead_time += cost
+        self.trace.overhead_time += cost
+        proc.dispatch_time = start
+        proc.charged_until = start
+        slice_len = self.scheduler.quantum_for(task, proc.cpu_id, now)
+        if slice_len is None:
+            slice_len = self.quantum
+        if self.quantum_jitter > 0.0:
+            slice_len *= 1.0 + self._jitter_rng.uniform(
+                -self.quantum_jitter, self.quantum_jitter
+            )
+        proc.quantum_end = start + slice_len
+        proc.segment_handle = None
+        if math.isfinite(task.remaining_run):
+            seg_end = start + task.remaining_run
+            if seg_end <= proc.quantum_end + _EPS:
+                # Scheduled before the quantum timer so that exact ties
+                # resolve as "segment completed".
+                proc.segment_handle = self.engine.schedule_at(
+                    seg_end, self._segment_end, proc, proc.seq
+                )
+        proc.quantum_handle = self.engine.schedule_at(
+            proc.quantum_end, self._quantum_expiry, proc, proc.seq
+        )
+
+    # ------------------------------------------------------------------
+    # accounting helpers
+    # ------------------------------------------------------------------
+
+    def _charge(self, proc: Processor, now: float) -> None:
+        """Charge CPU service to the running task up to ``now``."""
+        task = proc.task
+        assert task is not None
+        delta = now - proc.charged_until
+        if delta <= 0:
+            return
+        task.service += delta
+        proc.busy_time += delta
+        if math.isfinite(task.remaining_run):
+            task.remaining_run = max(0.0, task.remaining_run - delta)
+        proc.charged_until = now
+        if self.sample_service:
+            task.series.append((now, task.service))
+
+    def _vacate(self, proc: Processor) -> None:
+        """Detach the current task from ``proc`` (after charging)."""
+        task = proc.task
+        assert task is not None
+        self.trace.record_run(
+            proc.cpu_id, task.tid, proc.dispatch_time, proc.charged_until
+        )
+        proc.cancel_timers()
+        proc.seq += 1
+        self._prev_task[proc.cpu_id] = task
+        proc.task = None
+
+    def _schedule_wake(self, task: Task, duration: float) -> None:
+        """Arm the wake timer; infinite blocks wait for signal()."""
+        if math.isinf(duration):
+            return
+        self._wake_handles[task.tid] = self.engine.schedule_after(
+            duration, self._wake, task
+        )
+
+    def _notify_exit(self, task: Task, now: float) -> None:
+        for callback in self.on_task_exit:
+            callback(task, now)
+
+    def _retire(self, task: Task, now: float, ran: float) -> None:
+        """Mark a runnable/running task as exited and notify the scheduler."""
+        task.state = TaskState.EXITED
+        task.exit_time = now
+        self._runnable.pop(task.tid, None)
+        self.trace.record(now, tracing.EXIT, task)
+        self.scheduler.on_exit(task, now, ran)
+        self._notify_exit(task, now)
+
+    def _processor_of(self, task: Task) -> Processor:
+        for proc in self.processors:
+            if proc.task is task:
+                return proc
+        raise ValueError(f"{task.name} is not running on any CPU")

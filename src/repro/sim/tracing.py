@@ -1,0 +1,103 @@
+"""Trace collection for simulated runs.
+
+The trace records the event-level history needed to (a) reconstruct the
+figures in the paper (cumulative service / iterations over time), (b)
+replay the same runnable-set timeline through the fluid GMS oracle for
+fairness measurement, and (c) count scheduler work (decisions, context
+switches) for the overhead experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.sim.task import Task
+
+__all__ = ["TraceEvent", "Trace"]
+
+# Event kinds recorded in the runnable-set timeline. These are exactly
+# the points at which the fluid GMS oracle's rate allocation changes.
+ARRIVE = "arrive"
+WAKE = "wake"
+BLOCK = "block"
+EXIT = "exit"
+WEIGHT = "weight"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One runnable-set change: (time, kind, tid, weight-at-event)."""
+
+    time: float
+    kind: str
+    tid: int
+    weight: float
+
+
+@dataclass(frozen=True, slots=True)
+class RunInterval:
+    """One contiguous occupancy of a CPU by a task."""
+
+    cpu: int
+    tid: int
+    start: float
+    end: float
+
+
+@dataclass
+class Trace:
+    """Accumulates simulation history.
+
+    Attributes
+    ----------
+    events:
+        Runnable-set timeline (arrivals, wakeups, blocks, exits, weight
+        changes) for GMS replay.
+    context_switches:
+        Count of dispatches where the incoming task differs from the
+        outgoing one (per the lmbench definition).
+    dispatches:
+        Total pick-next decisions that resulted in a task running.
+    decisions:
+        Total pick-next invocations (including ones that found no task).
+    preemptions:
+        Involuntary context switches (quantum expiry or wakeup preemption).
+    overhead_time:
+        Total CPU dead time charged by the cost model, across all CPUs.
+    """
+
+    record_events: bool = True
+    events: list[TraceEvent] = field(default_factory=list)
+    #: CPU occupancy intervals (for Gantt rendering); recorded when
+    #: record_events is on
+    run_intervals: list[RunInterval] = field(default_factory=list)
+    context_switches: int = 0
+    dispatches: int = 0
+    decisions: int = 0
+    preemptions: int = 0
+    overhead_time: float = 0.0
+
+    def record(self, time: float, kind: str, task: Task) -> None:
+        """Append a runnable-set event (if event recording is enabled)."""
+        if self.record_events:
+            self.events.append(TraceEvent(time, kind, task.tid, task.weight))
+
+    def record_run(self, cpu: int, tid: int, start: float, end: float) -> None:
+        """Append a CPU occupancy interval (if recording is enabled)."""
+        if self.record_events and end > start:
+            self.run_intervals.append(RunInterval(cpu, tid, start, end))
+
+    def events_between(self, t0: float, t1: float) -> Iterator[TraceEvent]:
+        """Events with t0 <= time < t1, in order."""
+        return (ev for ev in self.events if t0 <= ev.time < t1)
+
+    def summary(self) -> dict[str, float]:
+        """Scalar counters as a dict (handy for table rendering)."""
+        return {
+            "context_switches": self.context_switches,
+            "dispatches": self.dispatches,
+            "decisions": self.decisions,
+            "preemptions": self.preemptions,
+            "overhead_time": self.overhead_time,
+        }

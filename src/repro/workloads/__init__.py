@@ -1,0 +1,44 @@
+"""Workloads used in the paper's evaluation (§4.1).
+
+- :class:`Infinite` — the ``Inf`` compute loop (Figs. 1, 4, 5);
+- :class:`FiniteCompute` — fixed-CPU jobs (T_short of Fig. 5);
+- :class:`ShortJobFeeder` — the back-to-back short-job arrival process;
+- :class:`Interactive` — the ``Interact`` I/O-bound app (Fig. 6(c));
+- :class:`MpegDecoder` — ``mpeg_play`` software decoding (Fig. 6(b));
+- :class:`CompileJob` — gcc compile jobs (Fig. 6(b));
+- :class:`DisksimBatch` — disksim background simulations (Fig. 6(c));
+- :class:`TokenRing` — lmbench ``lat_ctx`` (Table 1, Fig. 7);
+- :class:`GeneratorBehavior` — adapter for ad-hoc behaviours.
+"""
+
+from repro.workloads.base import Behavior, GeneratorBehavior
+from repro.workloads.cpu_bound import (
+    DHRYSTONE_ITER_RATE,
+    FiniteCompute,
+    INF_ITER_RATE,
+    Infinite,
+    iterations,
+)
+from repro.workloads.disksim import DisksimBatch
+from repro.workloads.gcc_build import CompileJob
+from repro.workloads.interactive import Interactive
+from repro.workloads.lmbench import RingProcess, TokenRing
+from repro.workloads.mpeg import MpegDecoder
+from repro.workloads.shortjobs import ShortJobFeeder
+
+__all__ = [
+    "Behavior",
+    "CompileJob",
+    "DHRYSTONE_ITER_RATE",
+    "DisksimBatch",
+    "FiniteCompute",
+    "GeneratorBehavior",
+    "INF_ITER_RATE",
+    "Infinite",
+    "Interactive",
+    "MpegDecoder",
+    "RingProcess",
+    "ShortJobFeeder",
+    "TokenRing",
+    "iterations",
+]

@@ -1,0 +1,73 @@
+"""Behaviour interface for workloads.
+
+A *behaviour* tells the machine what a task does: the machine calls
+:meth:`Behavior.start` when the task arrives and
+:meth:`Behavior.next_segment` every time the previous segment completes
+(a Run finished, or a Block's sleep elapsed). Both receive the current
+simulation time, so behaviours can implement real-time logic such as an
+MPEG decoder sleeping until its next frame deadline.
+
+For one-off behaviours, :class:`GeneratorBehavior` adapts a plain
+generator::
+
+    def two_bursts():
+        now = yield Run(0.5)      # run half a second of CPU
+        now = yield Block(1.0)    # sleep one second
+        now = yield Run(0.25)
+        yield Exit()
+
+    task = Task(GeneratorBehavior(two_bursts()), weight=1)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generator
+
+from repro.sim.events import Exit, Segment
+
+__all__ = ["Behavior", "GeneratorBehavior"]
+
+
+class Behavior(ABC):
+    """Produces the segment sequence of a task."""
+
+    @abstractmethod
+    def start(self, now: float) -> Segment:
+        """First segment, produced when the task arrives."""
+
+    @abstractmethod
+    def next_segment(self, now: float) -> Segment:
+        """Next segment, produced when the previous one completes."""
+
+
+class GeneratorBehavior(Behavior):
+    """Adapts ``Generator[Segment, float, None]`` to the Behavior API.
+
+    The generator yields segments and receives the completion time of
+    each yielded segment via ``send``. Plain iterators (lists of
+    segments, ``iter([...])``) are accepted too — they just cannot see
+    completion times. When the source is exhausted the task exits.
+    """
+
+    def __init__(self, gen: Generator[Segment, float, None]) -> None:
+        self._gen = gen
+        self._can_send = hasattr(gen, "send")
+        self._started = False
+
+    def start(self, now: float) -> Segment:
+        if self._started:
+            raise RuntimeError("GeneratorBehavior cannot be restarted")
+        self._started = True
+        try:
+            return next(self._gen)
+        except StopIteration:
+            return Exit()
+
+    def next_segment(self, now: float) -> Segment:
+        try:
+            if self._can_send:
+                return self._gen.send(now)
+            return next(self._gen)
+        except StopIteration:
+            return Exit()

@@ -1,0 +1,69 @@
+"""Compute-bound workloads: the paper's ``Inf`` and ``dhrystone``.
+
+``Inf`` "performs computations in an infinite loop" — the workhorse of
+Figs. 1, 4 and 5, where the y-axis is the cumulative number of loop
+iterations. ``dhrystone`` is the integer benchmark of Fig. 6(a); for
+scheduling purposes both are pure CPU loops, differing only in the
+calibrated iterations-per-second rate used to convert CPU service to
+loop counts.
+
+The default rate (~80 k iterations/s for Inf) is chosen so a thread
+owning a full CPU for 30 s reaches ~2.4 M iterations, matching the
+scale of the paper's Fig. 4/5 axes on the 500 MHz Pentium-III.
+"""
+
+from __future__ import annotations
+
+from repro.sim.events import Exit, Run, RUN_FOREVER, Segment
+from repro.sim.task import Task
+from repro.workloads.base import Behavior
+
+__all__ = [
+    "Infinite",
+    "FiniteCompute",
+    "INF_ITER_RATE",
+    "DHRYSTONE_ITER_RATE",
+    "iterations",
+]
+
+#: calibrated loop rates (iterations per CPU-second) on the testbed
+INF_ITER_RATE = 80_000.0
+DHRYSTONE_ITER_RATE = 230_000.0
+
+
+class Infinite(Behavior):
+    """Run forever (the paper's Inf application and dhrystone loop)."""
+
+    def start(self, now: float) -> Segment:
+        return Run(RUN_FOREVER)
+
+    def next_segment(self, now: float) -> Segment:  # pragma: no cover
+        # An infinite Run never completes, so this is unreachable in a
+        # correct machine; raise loudly if it ever happens.
+        raise AssertionError("Infinite behaviour asked for a next segment")
+
+
+class FiniteCompute(Behavior):
+    """Consume ``cpu_seconds`` of CPU, then exit.
+
+    The building block of the short-lived tasks of Fig. 5 (``T_short``
+    runs 300 ms each) and Example 2's transient jobs.
+    """
+
+    def __init__(self, cpu_seconds: float) -> None:
+        if cpu_seconds < 0:
+            raise ValueError(f"cpu_seconds must be >= 0, got {cpu_seconds}")
+        self.cpu_seconds = cpu_seconds
+        self.completed_at: float | None = None
+
+    def start(self, now: float) -> Segment:
+        return Run(self.cpu_seconds)
+
+    def next_segment(self, now: float) -> Segment:
+        self.completed_at = now
+        return Exit()
+
+
+def iterations(task: Task, rate: float = INF_ITER_RATE) -> float:
+    """Cumulative loop iterations executed by a compute-bound task."""
+    return task.service * rate

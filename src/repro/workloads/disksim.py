@@ -1,0 +1,66 @@
+"""disksim — the compute-intensive background simulation of Fig. 6(c).
+
+The paper uses the publicly available disksim disk simulator purely as
+"a background simulation workload": a long-running, CPU-hungry batch
+process. A trace-driven simulator spends virtually all its time in
+event-processing loops with rare checkpoint writes, so the model is a
+long CPU loop with optional, infrequent, short blocking pauses.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.events import Block, Run, RUN_FOREVER, Segment
+from repro.workloads.base import Behavior
+
+__all__ = ["DisksimBatch"]
+
+
+class DisksimBatch(Behavior):
+    """A disksim-like batch simulation process.
+
+    Parameters
+    ----------
+    checkpoint_every:
+        Mean CPU seconds between checkpoint writes; None disables
+        checkpoints entirely (pure CPU loop).
+    checkpoint_io:
+        Blocking time of one checkpoint write (seconds).
+    rng:
+        Randomness for checkpoint spacing (required if checkpoints on).
+    """
+
+    def __init__(
+        self,
+        checkpoint_every: float | None = None,
+        checkpoint_io: float = 0.002,
+        rng: random.Random | None = None,
+    ) -> None:
+        if checkpoint_every is not None:
+            if checkpoint_every <= 0:
+                raise ValueError(
+                    f"checkpoint_every must be > 0, got {checkpoint_every}"
+                )
+            if rng is None:
+                raise ValueError("rng is required when checkpoints are enabled")
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_io = checkpoint_io
+        self.rng = rng
+        self._computing = False
+
+    def _compute(self) -> Segment:
+        self._computing = True
+        if self.checkpoint_every is None:
+            return Run(RUN_FOREVER)
+        assert self.rng is not None
+        return Run(self.rng.expovariate(1.0 / self.checkpoint_every))
+
+    def start(self, now: float) -> Segment:
+        return self._compute()
+
+    def next_segment(self, now: float) -> Segment:
+        if self._computing:
+            self._computing = False
+            return Block(self.checkpoint_io)
+        return self._compute()

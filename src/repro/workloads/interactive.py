@@ -1,0 +1,83 @@
+"""The ``Interact`` application: an I/O-bound interactive workload.
+
+Fig. 6(c) of the paper measures the *response time* of an interactive
+application running against a compute-intensive background (disksim
+processes): the time from an input event (end of think time / I/O
+completion) to the completion of the short CPU burst that handles it.
+
+:class:`Interactive` alternates ``Block(think)`` and ``Run(burst)``;
+think times and burst lengths may be randomized (exponential around the
+mean) to avoid lockstep artifacts. Every response time is recorded.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.events import Block, Run, Segment
+from repro.workloads.base import Behavior
+
+__all__ = ["Interactive"]
+
+
+class Interactive(Behavior):
+    """Think/compute loop with response-time accounting.
+
+    Parameters
+    ----------
+    think_time:
+        Mean wall-clock pause between requests (seconds).
+    burst:
+        Mean CPU demand of handling one request (seconds).
+    rng:
+        Randomize think/burst exponentially with this generator; if
+        None, both are deterministic constants.
+    """
+
+    def __init__(
+        self,
+        think_time: float = 1.0,
+        burst: float = 0.005,
+        rng: random.Random | None = None,
+    ) -> None:
+        if think_time < 0:
+            raise ValueError(f"think_time must be >= 0, got {think_time}")
+        if burst <= 0:
+            raise ValueError(f"burst must be > 0, got {burst}")
+        self.think_time = think_time
+        self.burst = burst
+        self.rng = rng
+        #: (wake time, response time) pairs, one per completed request
+        self.responses: list[tuple[float, float]] = []
+        self._woke_at: float | None = None
+        self._in_burst = False
+
+    def _sample(self, mean: float) -> float:
+        if self.rng is None:
+            return mean
+        return self.rng.expovariate(1.0 / mean) if mean > 0 else 0.0
+
+    def start(self, now: float) -> Segment:
+        return Block(self._sample(self.think_time))
+
+    def next_segment(self, now: float) -> Segment:
+        if self._in_burst:
+            # The CPU burst just completed: record the response time.
+            assert self._woke_at is not None
+            self.responses.append((self._woke_at, now - self._woke_at))
+            self._in_burst = False
+            return Block(self._sample(self.think_time))
+        # Think time elapsed: a request arrived, handle it.
+        self._woke_at = now
+        self._in_burst = True
+        return Run(self._sample(self.burst))
+
+    @property
+    def response_times(self) -> list[float]:
+        """Response times of all completed requests, in order."""
+        return [r for _, r in self.responses]
+
+    def mean_response_time(self) -> float:
+        """Average response time (0 if no request completed)."""
+        times = self.response_times
+        return sum(times) / len(times) if times else 0.0

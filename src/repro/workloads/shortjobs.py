@@ -1,0 +1,101 @@
+"""The short-jobs arrival process of Example 2 and Fig. 5.
+
+§4.3: *"we then introduced a sequence of short Inf tasks (T_short) into
+the system. Each of these short tasks was assigned a weight of 5 and
+ran for 300 ms each; each short task was introduced only after the
+previous one finished."*
+
+:class:`ShortJobFeeder` reproduces that process: it creates a
+:class:`~repro.workloads.cpu_bound.FiniteCompute` task, and when the
+machine reports its exit, immediately introduces the next one (with an
+optional gap). The cumulative service of the whole T_short *sequence*
+is what Fig. 5 plots as one curve.
+"""
+
+from __future__ import annotations
+
+from repro.sim.machine import Machine
+from repro.sim.task import Task
+from repro.workloads.cpu_bound import FiniteCompute
+
+__all__ = ["ShortJobFeeder"]
+
+
+class ShortJobFeeder:
+    """Back-to-back short CPU jobs, next arriving when previous exits.
+
+    Parameters
+    ----------
+    machine:
+        The machine to feed (the feeder registers an exit observer).
+    weight:
+        Weight of every short job (paper: 5; Example 2 uses 100).
+    job_cpu:
+        CPU seconds each job consumes (paper: 300 ms).
+    first_arrival:
+        Absolute time of the first job's arrival.
+    gap:
+        Wall-clock pause between a job's exit and the next arrival.
+    name_prefix:
+        Tasks are named ``{prefix}-1``, ``{prefix}-2``, ...
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        weight: float = 5.0,
+        job_cpu: float = 0.3,
+        first_arrival: float = 0.0,
+        gap: float = 0.0,
+        name_prefix: str = "T_short",
+    ) -> None:
+        if job_cpu <= 0:
+            raise ValueError(f"job_cpu must be > 0, got {job_cpu}")
+        if gap < 0:
+            raise ValueError(f"gap must be >= 0, got {gap}")
+        self.machine = machine
+        self.weight = weight
+        self.job_cpu = job_cpu
+        self.gap = gap
+        self.name_prefix = name_prefix
+        self.jobs: list[Task] = []
+        machine.on_task_exit.append(self._on_exit)
+        self._spawn(first_arrival)
+
+    def _spawn(self, at: float) -> None:
+        task = Task(
+            FiniteCompute(self.job_cpu),
+            weight=self.weight,
+            name=f"{self.name_prefix}-{len(self.jobs) + 1}",
+        )
+        self.jobs.append(task)
+        self.machine.add_task(task, at=at)
+
+    def _on_exit(self, task: Task, now: float) -> None:
+        if self.jobs and task is self.jobs[-1]:
+            self._spawn(now + self.gap)
+
+    @property
+    def completed(self) -> int:
+        """Number of short jobs that have finished."""
+        return sum(1 for t in self.jobs if t.exit_time is not None)
+
+    def total_service(self) -> float:
+        """CPU service consumed by the whole short-job sequence."""
+        return sum(t.service for t in self.jobs)
+
+    def service_series(self) -> list[tuple[float, float]]:
+        """Merged cumulative (time, service) series across all jobs.
+
+        Fig. 5 plots T_short as a single cumulative curve; jobs run
+        one-at-a-time, so concatenating their sample points with a
+        running offset gives the sequence's curve.
+        """
+        points: list[tuple[float, float]] = []
+        offset = 0.0
+        for task in self.jobs:
+            for t, s in task.series:
+                points.append((t, offset + s))
+            offset += task.service
+        points.sort(key=lambda p: p[0])
+        return points

@@ -1,0 +1,34 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sfs import SurplusFairScheduler
+from repro.sim.machine import Machine
+from repro.sim.task import Task
+from repro.workloads.cpu_bound import FiniteCompute, Infinite
+
+
+@pytest.fixture
+def sfs_machine() -> Machine:
+    """A 2-CPU machine running SFS with the paper's 200 ms quantum."""
+    return Machine(SurplusFairScheduler(), cpus=2, quantum=0.2)
+
+
+def add_inf(machine: Machine, weight: float, name: str, at: float = 0.0) -> Task:
+    """Add a compute-bound (Inf) task."""
+    return machine.add_task(Task(Infinite(), weight=weight, name=name), at=at)
+
+
+def add_finite(
+    machine: Machine, cpu: float, weight: float, name: str, at: float = 0.0
+) -> Task:
+    """Add a finite compute job."""
+    return machine.add_task(
+        Task(FiniteCompute(cpu), weight=weight, name=name), at=at
+    )
+
+
+def total_service(tasks) -> float:
+    return sum(t.service for t in tasks)

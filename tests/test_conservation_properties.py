@@ -1,0 +1,124 @@
+"""Property-based conservation laws over randomized workloads.
+
+Whatever the scheduler and workload, a correct simulation must satisfy
+basic physics: CPU service is conserved (busy time == total service),
+never exceeds capacity, no task receives more than wall-clock time per
+CPU it could occupy, and every task's service is non-negative and
+consistent with its sampled series.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sfs import SurplusFairScheduler
+from repro.core.sfs_heuristic import HeuristicSurplusFairScheduler
+from repro.schedulers.linux_ts import LinuxTimeSharingScheduler
+from repro.schedulers.sfq import StartTimeFairScheduler
+from repro.sim.events import Block, Exit, Run
+from repro.sim.machine import Machine
+from repro.sim.task import Task, TaskState
+from repro.workloads.base import GeneratorBehavior
+
+SCHEDULER_FACTORIES = [
+    SurplusFairScheduler,
+    lambda: HeuristicSurplusFairScheduler(scan_depth=3, refresh_every=7),
+    StartTimeFairScheduler,
+    LinuxTimeSharingScheduler,
+]
+
+segment_st = st.one_of(
+    st.builds(Run, st.floats(min_value=0.0, max_value=0.5)),
+    st.builds(Block, st.floats(min_value=0.0, max_value=0.3)),
+)
+
+task_spec_st = st.tuples(
+    st.floats(min_value=0.1, max_value=50.0),  # weight
+    st.lists(segment_st, min_size=0, max_size=6),  # finite behaviour
+    st.booleans(),  # append an infinite run at the end?
+    st.floats(min_value=0.0, max_value=1.0),  # arrival time
+)
+
+
+def build_machine(sched_idx, cpus, quantum, specs):
+    scheduler = SCHEDULER_FACTORIES[sched_idx]()
+    machine = Machine(scheduler, cpus=cpus, quantum=quantum)
+    tasks = []
+    for i, (weight, segments, infinite, at) in enumerate(specs):
+        segs = list(segments)
+        if infinite:
+            segs.append(Run(math.inf))
+        tasks.append(
+            machine.add_task(
+                Task(GeneratorBehavior(iter(segs)), weight=weight,
+                     name=f"t{i}"),
+                at=at,
+            )
+        )
+    return machine, tasks
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sched_idx=st.integers(min_value=0, max_value=len(SCHEDULER_FACTORIES) - 1),
+    cpus=st.integers(min_value=1, max_value=4),
+    quantum=st.floats(min_value=0.01, max_value=0.3),
+    specs=st.lists(task_spec_st, min_size=1, max_size=8),
+    horizon=st.floats(min_value=0.5, max_value=5.0),
+)
+def test_conservation_laws(sched_idx, cpus, quantum, specs, horizon):
+    machine, tasks = build_machine(sched_idx, cpus, quantum, specs)
+    machine.run_until(horizon)
+
+    total_service = sum(t.service for t in tasks)
+    busy = sum(p.busy_time for p in machine.processors)
+
+    # 1. Service is conserved: what CPUs did equals what tasks received.
+    assert abs(total_service - busy) < 1e-6
+
+    # 2. Capacity is never exceeded.
+    assert total_service <= cpus * horizon + 1e-6
+
+    # 3. Per-task sanity: non-negative, and no more than one CPU's
+    #    worth of time since its arrival.
+    for t in tasks:
+        assert t.service >= -1e-12
+        if t.arrival_time is not None:
+            assert t.service <= (horizon - t.arrival_time) + 1e-6
+
+    # 4. Sampled series are monotone and end at the task's service.
+    for t in tasks:
+        values = [s for _, s in t.series]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+        if values:
+            assert abs(values[-1] - t.service) < 1e-6
+
+    # 5. States are coherent: exited tasks have exit times, runnable
+    #    count matches task states.
+    runnable = sum(
+        1 for t in tasks if t.state in (TaskState.RUNNABLE, TaskState.RUNNING)
+    )
+    assert runnable == machine.runnable_count
+    for t in tasks:
+        if t.state is TaskState.EXITED:
+            assert t.exit_time is not None
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    cpus=st.integers(min_value=1, max_value=3),
+    specs=st.lists(task_spec_st, min_size=2, max_size=6),
+)
+def test_sfs_surplus_invariants_hold_for_random_workloads(cpus, specs):
+    machine, tasks = build_machine(0, cpus, 0.05, specs)
+    scheduler = machine.scheduler
+    for step in range(1, 8):
+        machine.run_until(step * 0.4)
+        surpluses = scheduler.surpluses()
+        if not surpluses:
+            continue
+        values = list(surpluses.values())
+        # alpha_i >= 0 always; at least one zero among runnable threads.
+        assert min(values) >= -1e-9
+        assert min(values) < 1e-9

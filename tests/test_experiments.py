@@ -1,0 +1,189 @@
+"""Smoke + shape tests for every experiment module (scaled-down runs)."""
+
+import pytest
+
+from repro.experiments import (
+    fig1_infeasible,
+    fig3_heuristic,
+    fig4_readjustment,
+    fig5_shortjobs,
+    fig6a_proportional,
+    fig6b_isolation,
+    fig6c_interactive,
+    fig7_ctxswitch,
+    table1_lmbench,
+)
+
+
+class TestFig1:
+    def test_sfq_starves(self):
+        r = fig1_infeasible.run("sfq", horizon_quanta=2200)
+        assert r.t1_starvation > 0.7
+        assert r.tags_at_arrival[0] == pytest.approx(1.0, abs=0.01)
+        assert r.tags_at_arrival[1] == pytest.approx(0.1, abs=0.01)
+
+    def test_readjustment_removes_starvation(self):
+        r = fig1_infeasible.run("sfq-readjust", horizon_quanta=2200)
+        assert r.t1_starvation < 0.1
+
+    def test_render(self):
+        r = fig1_infeasible.run("sfq", horizon_quanta=1500)
+        out = fig1_infeasible.render(r)
+        assert "Figure 1" in out and "starvation" in out
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(ValueError):
+            fig1_infeasible.run("nope")
+
+
+class TestFig3:
+    def test_k20_accuracy_high(self):
+        r = fig3_heuristic.run(
+            thread_counts=(100,), scan_depths=(1, 20), decisions=400
+        )
+        assert r.accuracy[(100, 20)] > 0.98
+        assert r.accuracy[(100, 1)] < r.accuracy[(100, 20)] + 1e-9
+
+    def test_render(self):
+        r = fig3_heuristic.run(
+            thread_counts=(50,), scan_depths=(5,), decisions=150
+        )
+        assert "Figure 3" in fig3_heuristic.render(r)
+
+
+class TestFig4:
+    def test_plain_sfq_starves_t1_in_phase2(self):
+        r = fig4_readjustment.run("sfq")
+        assert r.phase2["T1"] < 0.08
+        assert r.t1_starvation > 5.0
+
+    def test_readjusted_sfq_1_2_1(self):
+        r = fig4_readjustment.run("sfq-readjust")
+        assert r.phase2["T1"] == pytest.approx(0.25, abs=0.05)
+        assert r.phase2["T2"] == pytest.approx(0.50, abs=0.05)
+        assert r.phase2["T3"] == pytest.approx(0.25, abs=0.05)
+        assert r.t1_starvation < 1.0
+
+    def test_sfs_matches_readjusted_ideal(self):
+        r = fig4_readjustment.run("sfs")
+        assert r.phase1["T1"] == pytest.approx(0.5, abs=0.03)
+        assert r.phase2["T2"] == pytest.approx(0.5, abs=0.05)
+        assert r.phase3["T3"] == pytest.approx(0.5, abs=0.05)
+
+    def test_render(self):
+        out = fig4_readjustment.render(fig4_readjustment.run("sfs"))
+        assert "Figure 4" in out
+
+
+class TestFig5:
+    def test_sfq_fails_proportions(self):
+        r = fig5_shortjobs.run("sfq")
+        # Paper: each set gets roughly equal shares under SFQ; T_short
+        # vastly exceeds its 1/9 entitlement.
+        assert r.group_share["T_short"] > 2 * fig5_shortjobs.IDEAL_SHARES["T_short"]
+
+    def test_sfs_closer_to_ideal_than_sfq(self):
+        sfq = fig5_shortjobs.run("sfq")
+        sfs = fig5_shortjobs.run("sfs")
+        ideal = fig5_shortjobs.IDEAL_SHARES["T_short"]
+        assert abs(sfs.group_share["T_short"] - ideal) < abs(
+            sfq.group_share["T_short"] - ideal
+        )
+
+    def test_gms_reference_delivers_4_4_1(self):
+        r = fig5_shortjobs.run("gms-reference")
+        assert r.group_share["T1"] == pytest.approx(4 / 9, abs=0.04)
+        assert r.group_share["T2-21"] == pytest.approx(4 / 9, abs=0.04)
+        assert r.group_share["T_short"] == pytest.approx(1 / 9, abs=0.04)
+
+    def test_render(self):
+        assert "Figure 5" in fig5_shortjobs.render(fig5_shortjobs.run("sfs"))
+
+
+class TestFig6a:
+    def test_ratios_track_weights(self):
+        r = fig6a_proportional.run(horizon=60.0, warmup=20.0)
+        for (w1, w2) in r.rates:
+            assert r.measured_ratio((w1, w2)) == pytest.approx(
+                w2 / w1, rel=0.25
+            )
+
+    def test_render(self):
+        r = fig6a_proportional.run(
+            weight_pairs=((1, 2),), horizon=30.0, warmup=10.0
+        )
+        assert "Figure 6(a)" in fig6a_proportional.render(r)
+
+
+class TestFig6b:
+    def test_sfs_isolates_decoder_ts_does_not(self):
+        r = fig6b_isolation.run(compile_counts=(0, 6))
+        sfs = dict(r.curves["sfs"])
+        ts = dict(r.curves["linux-ts"])
+        assert sfs[6] > 25.0  # SFS holds ~30 fps
+        assert ts[6] < 20.0  # time sharing collapses
+
+    def test_render(self):
+        r = fig6b_isolation.run(compile_counts=(0, 2))
+        assert "Figure 6(b)" in fig6b_isolation.render(r)
+
+
+class TestFig6c:
+    def test_both_schedulers_single_digit_ms_at_low_load(self):
+        r = fig6c_interactive.run(disksim_counts=(1, 4))
+        for name in ("sfs", "linux-ts"):
+            for n, rt in r.curves[name]:
+                assert rt < 0.05
+
+    def test_render(self):
+        r = fig6c_interactive.run(disksim_counts=(1,))
+        assert "Figure 6(c)" in fig6c_interactive.render(r)
+
+
+class TestTable1:
+    def test_context_switch_rows_match_paper_shape(self):
+        r = table1_lmbench.run(passes=400)
+        ts0, sfs0 = r.rows["Context switch (2 proc/0KB)"]
+        assert 0.5e-6 < ts0 < 3e-6
+        assert 3e-6 < sfs0 < 6e-6
+        ts16, sfs16 = r.rows["Context switch (8 proc/16KB)"]
+        assert ts16 == pytest.approx(15e-6, rel=0.3)
+        assert sfs16 > ts16
+        ts64, sfs64 = r.rows["Context switch (16 proc/64KB)"]
+        assert ts64 == pytest.approx(178e-6, rel=0.15)
+        # §4.5: relative difference shrinks with process size.
+        assert (sfs64 - ts64) / ts64 < (sfs0 - ts0) / ts0
+
+    def test_scheduler_independent_rows_identical(self):
+        r = table1_lmbench.run(passes=200)
+        for label in ("syscall overhead", "fork()", "exec()"):
+            ts, sfs = r.rows[label]
+            assert ts == sfs
+
+    def test_render_includes_paper_values(self):
+        out = table1_lmbench.render(table1_lmbench.run(passes=200))
+        assert "Table 1" in out and "paper" in out
+
+
+class TestFig7:
+    def test_overhead_grows_with_processes_for_both(self):
+        r = fig7_ctxswitch.run(ring_sizes=(2, 16, 50), passes=300)
+        for name in ("linux-ts", "sfs"):
+            values = [v for _, v in r.curves[name]]
+            assert values[0] < values[1] < values[2]
+
+    def test_sfs_sits_above_time_sharing(self):
+        r = fig7_ctxswitch.run(ring_sizes=(2, 50), passes=300)
+        ts = dict(r.curves["linux-ts"])
+        sfs = dict(r.curves["sfs"])
+        for n in (2, 50):
+            assert sfs[n] > ts[n]
+
+    def test_stays_in_papers_band(self):
+        r = fig7_ctxswitch.run(ring_sizes=(50,), passes=300)
+        for name in ("linux-ts", "sfs"):
+            assert dict(r.curves[name])[50] < 10e-6
+
+    def test_render(self):
+        r = fig7_ctxswitch.run(ring_sizes=(2, 8), passes=200)
+        assert "Figure 7" in fig7_ctxswitch.render(r)

@@ -1,0 +1,142 @@
+"""Tests for kernel-style fixed-point tag arithmetic (§3.2)."""
+
+import pytest
+
+from tests.conftest import add_inf
+from repro.core.fixed_point import FixedTags, FloatTags
+from repro.core.sfs import SurplusFairScheduler
+from repro.schedulers.sfq import StartTimeFairScheduler
+from repro.sim.machine import Machine
+
+
+class TestFloatTags:
+    def test_finish_tag(self):
+        tags = FloatTags()
+        assert tags.finish_tag(1.0, 0.2, 2.0) == pytest.approx(1.1)
+
+    def test_surplus(self):
+        tags = FloatTags()
+        assert tags.surplus(2.0, 1.5, 1.0) == pytest.approx(1.0)
+
+    def test_never_needs_rebase(self):
+        assert not FloatTags().needs_rebase(1e18)
+
+    def test_rejects_bad_phi(self):
+        with pytest.raises(ValueError):
+            FloatTags().finish_tag(0.0, 0.1, 0.0)
+
+
+class TestFixedTags:
+    def test_scale_factor(self):
+        assert FixedTags(n=4).scale == 10_000
+
+    def test_finish_tag_truncates_like_integer_division(self):
+        tags = FixedTags(n=4)
+        # q = 0.2 s -> 2000 units; phi = 3 -> 30000 scaled.
+        # delta = 2000 * 10000 // 30000 = 666 (exact: 666.67).
+        assert tags.finish_tag(0, 0.2, 3.0) == 666
+
+    def test_surplus_scaled(self):
+        tags = FixedTags(n=4)
+        # phi=2 -> 20000; S - v = 50 units -> alpha = 1_000_000.
+        assert tags.surplus(2.0, 100, 50) == 1_000_000
+
+    def test_phi_scaled_minimum_one(self):
+        # Extremely small phis must not scale to zero (division guard).
+        assert FixedTags(n=2).phi_scaled(1e-9) == 1
+
+    def test_needs_rebase_threshold(self):
+        tags = FixedTags(n=4, wrap_bits=16)
+        assert not tags.needs_rebase(2**15 - 1)
+        assert tags.needs_rebase(2**15)
+
+    def test_shift(self):
+        assert FixedTags().shift(100, 30) == 70
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            FixedTags(n=-1)
+        with pytest.raises(ValueError):
+            FixedTags(wrap_bits=4)
+
+
+class TestFixedVsFloatScheduling:
+    def _shares(self, tag_math, horizon=20.0):
+        m = Machine(SurplusFairScheduler(tag_math=tag_math), cpus=2, quantum=0.2)
+        tasks = [add_inf(m, w, f"w{w}") for w in (1, 2, 3, 4)]
+        m.run_until(horizon)
+        total = sum(t.service for t in tasks)
+        return [t.service / total for t in tasks]
+
+    def test_adequate_scale_matches_float_reference(self):
+        # §3.2: "a scaling factor of 10^4 [is] adequate for most purposes".
+        float_shares = self._shares(None)
+        fixed_shares = self._shares(FixedTags(n=4))
+        for a, b in zip(float_shares, fixed_shares):
+            assert a == pytest.approx(b, abs=0.03)
+
+    def test_tiny_scale_degrades_allocation(self):
+        # n=0 keeps no fractional digits: tags quantize to whole virtual
+        # seconds and proportionality collapses.
+        fixed_shares = self._shares(FixedTags(n=0))
+        ideal = [0.1, 0.2, 0.3, 0.4]
+        worst = max(abs(a - b) for a, b in zip(fixed_shares, ideal))
+        assert worst > 0.05
+
+    def test_scale_sweep_monotonically_improves(self):
+        ideal = [0.1, 0.2, 0.3, 0.4]
+
+        def err(n):
+            shares = self._shares(FixedTags(n=n), horizon=10.0)
+            return sum(abs(a - b) for a, b in zip(shares, ideal))
+
+        assert err(4) <= err(1) + 1e-9
+
+
+class TestWrapAround:
+    def test_rebase_triggers_and_preserves_allocation(self):
+        # A tiny wrap threshold forces frequent rebasing; the shares
+        # must be unaffected (§3.2's wrap-around handling).
+        tags = FixedTags(n=4, wrap_bits=16)  # wraps at 32768 tag units
+        sched = SurplusFairScheduler(tag_math=tags)
+        m = Machine(sched, cpus=2, quantum=0.2)
+        a = add_inf(m, 1, "A")
+        b = add_inf(m, 2, "B")
+        c = add_inf(m, 1, "C")
+        m.run_until(40.0)
+        assert sched.rebase_count > 0
+        total = a.service + b.service + c.service
+        assert b.service / total == pytest.approx(0.5, abs=0.06)
+
+    def test_rebase_keeps_tags_small(self):
+        tags = FixedTags(n=4, wrap_bits=16)
+        sched = StartTimeFairScheduler(tag_math=tags)
+        m = Machine(sched, cpus=1, quantum=0.1)
+        a = add_inf(m, 1, "A")
+        m.run_until(60.0)
+        # 60 s at phi=1 is 600k tag units; without rebasing S would be
+        # far beyond the 32768 threshold.
+        assert a.sched["S"] < 2 * 32768
+
+    def test_rebase_shifts_blocked_tasks_too(self):
+        import math
+        from repro.sim.events import Block, Run
+        from repro.sim.task import Task
+        from repro.workloads.base import GeneratorBehavior
+
+        tags = FixedTags(n=4, wrap_bits=16)
+        sched = SurplusFairScheduler(tag_math=tags)
+        m = Machine(sched, cpus=1, quantum=0.1)
+
+        def gen():
+            yield Run(0.1)
+            yield Block(30.0)  # sleeps across several rebases
+            yield Run(math.inf)
+
+        sleeper = m.add_task(Task(GeneratorBehavior(gen()), weight=1, name="s"))
+        hog = add_inf(m, 1, "hog")
+        m.run_until(35.0)
+        assert sched.rebase_count > 0
+        # The woken sleeper's tag must be near the (rebased) virtual
+        # time, not off by multiples of the wrap threshold.
+        assert abs(sleeper.sched["S"] - sched.virtual_time) < 32768

@@ -1,0 +1,121 @@
+"""Cross-module integration tests: determinism, multi-CPU scaling,
+mixed workloads, GMS tracking, registry and CLI."""
+
+import random
+
+import pytest
+
+from tests.conftest import add_inf
+from repro.analysis.fairness import gms_deviation
+from repro.core.sfs import SurplusFairScheduler
+from repro.experiments.cli import EXPERIMENTS, main
+from repro.schedulers.registry import make_scheduler, scheduler_names
+from repro.sim.machine import Machine
+from repro.sim.task import Task
+from repro.workloads.gcc_build import CompileJob
+from repro.workloads.interactive import Interactive
+from repro.workloads.mpeg import MpegDecoder
+
+
+class TestDeterminism:
+    def _signature(self):
+        m = Machine(SurplusFairScheduler(), cpus=2, quantum=0.2,
+                    quantum_jitter=0.03, jitter_seed=5)
+        tasks = [add_inf(m, w, f"w{w}") for w in (1, 2, 3)]
+        decoder = MpegDecoder(frame_cost=0.02)
+        m.add_task(Task(decoder, weight=5, name="mpeg"))
+        inter = Interactive(think_time=0.3, burst=0.005, rng=random.Random(9))
+        m.add_task(Task(inter, weight=1, name="i"))
+        m.run_until(10.0)
+        return (
+            [t.service for t in tasks],
+            decoder.frame_times,
+            inter.responses,
+            m.trace.context_switches,
+        )
+
+    def test_identical_runs_bit_for_bit(self):
+        assert self._signature() == self._signature()
+
+
+class TestMultiCpuScaling:
+    @pytest.mark.parametrize("cpus", [1, 2, 4, 8])
+    def test_sfs_proportional_on_any_cpu_count(self, cpus):
+        m = Machine(SurplusFairScheduler(), cpus=cpus, quantum=0.1)
+        # 4*cpus equal tasks plus one double-weight task.
+        tasks = [add_inf(m, 1, f"T{i}") for i in range(4 * cpus)]
+        heavy = add_inf(m, 2, "heavy")
+        m.run_until(20.0)
+        total = sum(t.service for t in tasks) + heavy.service
+        assert total == pytest.approx(20.0 * cpus, rel=0.01)
+        expected = 2 / (4 * cpus + 2)
+        assert heavy.service / total == pytest.approx(expected, rel=0.25)
+
+    def test_capacity_scales_with_cpus(self):
+        for cpus in (1, 3, 5):
+            m = Machine(SurplusFairScheduler(), cpus=cpus, quantum=0.1)
+            tasks = [add_inf(m, 1, f"T{i}") for i in range(2 * cpus)]
+            m.run_until(4.0)
+            assert sum(t.service for t in tasks) == pytest.approx(4.0 * cpus)
+
+
+class TestMixedWorkload:
+    def test_web_hosting_mix_respects_weights(self):
+        """The paper's motivating scenario: multiple domains on one SMP,
+        each a mix of applications, isolated by weights."""
+        m = Machine(SurplusFairScheduler(), cpus=2, quantum=0.1)
+        # Domain A (weight 3 total): decoder + compile jobs.
+        dec = MpegDecoder(frame_cost=0.02, target_fps=30)
+        m.add_task(Task(dec, weight=2, name="A-stream"))
+        m.add_task(Task(CompileJob(random.Random(1)), weight=1, name="A-gcc"))
+        # Domain B (weight 1): batch hogs.
+        hogs = [add_inf(m, 0.5, f"B-hog{i}") for i in range(2)]
+        m.run_until(30.0)
+        # The decoder needs 0.6 CPUs and is entitled to 1.0: full rate.
+        assert dec.achieved_fps(5.0, 30.0) == pytest.approx(30.0, abs=2.0)
+
+    def test_sfs_tracks_gms_for_dynamic_workload(self):
+        m = Machine(SurplusFairScheduler(), cpus=2, quantum=0.1)
+        for i, w in enumerate((1, 2, 3)):
+            add_inf(m, w, f"w{w}")
+        m.add_task(Task(CompileJob(random.Random(2)), weight=2, name="gcc"))
+        m.run_until(15.0)
+        dev = gms_deviation(m)
+        for tid, d in dev.items():
+            assert abs(d) < 1.0, f"tid {tid} deviates {d:.3f}s from GMS"
+
+
+class TestRegistry:
+    def test_all_registered_schedulers_run_a_basic_workload(self):
+        for name in scheduler_names():
+            sched = make_scheduler(name)
+            m = Machine(sched, cpus=2, quantum=0.1)
+            tasks = [add_inf(m, w, f"w{w}") for w in (1, 2)]
+            m.run_until(2.0)
+            assert sum(t.service for t in tasks) == pytest.approx(4.0), name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_scheduler("cfs")
+
+    def test_factories_produce_fresh_instances(self):
+        a = make_scheduler("sfs")
+        b = make_scheduler("sfs")
+        assert a is not b
+
+
+class TestCli:
+    def test_experiment_table_is_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c",
+            "table1", "fig7", "sensitivity",
+        }
+
+    def test_cli_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_cli_runs_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "Figure 1" in out

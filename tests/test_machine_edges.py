@@ -1,0 +1,178 @@
+"""Edge-case tests for the machine: zero-length segments, exact ties,
+heavy churn stress, and API misuse."""
+
+import math
+
+import pytest
+
+from tests.conftest import add_inf
+from repro.core.sfs import SurplusFairScheduler
+from repro.sim.events import Block, Exit, Run
+from repro.sim.machine import Machine
+from repro.sim.task import Task, TaskState
+from repro.workloads.base import Behavior, GeneratorBehavior
+from repro.workloads.cpu_bound import Infinite
+
+
+def machine(cpus=1, quantum=0.2, **kw):
+    return Machine(SurplusFairScheduler(), cpus=cpus, quantum=quantum, **kw)
+
+
+class TestZeroLengthSegments:
+    def test_zero_run_exits_immediately(self):
+        m = machine()
+        t = m.add_task(Task(GeneratorBehavior(iter([Run(0.0)])), weight=1,
+                            name="z"))
+        m.run_until(1.0)
+        assert t.state is TaskState.EXITED
+        assert t.service == 0.0
+
+    def test_zero_block_is_a_yield(self):
+        m = machine()
+
+        def gen():
+            yield Run(0.05)
+            yield Block(0.0)  # sched_yield-like
+            yield Run(0.05)
+
+        t = m.add_task(Task(GeneratorBehavior(gen()), weight=1, name="y"))
+        m.run_until(1.0)
+        assert t.state is TaskState.EXITED
+        assert t.service == pytest.approx(0.1)
+
+    def test_immediate_exit_behavior(self):
+        m = machine()
+        t = m.add_task(Task(GeneratorBehavior(iter([Exit()])), weight=1,
+                            name="e"))
+        m.run_until(0.5)
+        assert t.state is TaskState.EXITED
+        assert t.service == 0.0
+
+    def test_negative_segment_durations_rejected(self):
+        with pytest.raises(ValueError):
+            Run(-0.1)
+        with pytest.raises(ValueError):
+            Block(-0.1)
+
+
+class TestSegmentQuantumBoundary:
+    def test_segment_ending_exactly_at_quantum_end(self):
+        # Run(0.2) with quantum 0.2: the segment completes (does not
+        # get preempted into a zombie re-dispatch).
+        m = machine(quantum=0.2)
+
+        def gen():
+            yield Run(0.2)
+            yield Exit()
+
+        t = m.add_task(Task(GeneratorBehavior(gen()), weight=1, name="x"))
+        m.run_until(1.0)
+        assert t.state is TaskState.EXITED
+        assert t.exit_time == pytest.approx(0.2)
+        assert t.preempt_count == 0
+
+    def test_segment_slightly_longer_than_quantum(self):
+        m = machine(quantum=0.2)
+
+        def gen():
+            yield Run(0.21)
+            yield Exit()
+
+        t = m.add_task(Task(GeneratorBehavior(gen()), weight=1, name="x"))
+        m.run_until(1.0)
+        assert t.state is TaskState.EXITED
+        assert t.preempt_count == 1
+        assert t.service == pytest.approx(0.21)
+
+
+class TestApiMisuse:
+    def test_task_cannot_arrive_twice(self):
+        m = machine()
+        t = add_inf(m, 1, "A")
+        with pytest.raises(ValueError):
+            m.add_task(t)
+
+    def test_behavior_returning_garbage_raises(self):
+        class Bad(Behavior):
+            def start(self, now):
+                return Run(0.1)
+
+            def next_segment(self, now):
+                return "lunch break"
+
+        m = machine()
+        m.add_task(Task(Bad(), weight=1, name="bad"))
+        with pytest.raises(TypeError):
+            m.run_until(1.0)
+
+    def test_bad_initial_segment_raises(self):
+        class Bad(Behavior):
+            def start(self, now):
+                return 42
+
+            def next_segment(self, now):  # pragma: no cover
+                return Exit()
+
+        m = machine()
+        m.add_task(Task(Bad(), weight=1, name="bad"))
+        with pytest.raises(TypeError):
+            m.run_until(1.0)
+
+    def test_task_weight_validation(self):
+        with pytest.raises(ValueError):
+            Task(Infinite(), weight=0)
+        with pytest.raises(ValueError):
+            Task(Infinite(), weight=-1)
+        with pytest.raises(ValueError):
+            Task(Infinite(), weight=1, footprint_kb=-1)
+
+    def test_weight_setter_validation(self):
+        t = Task(Infinite(), weight=1)
+        with pytest.raises(ValueError):
+            t.weight = 0
+
+
+class TestStress:
+    def test_hundred_tasks_heavy_blocking_churn(self):
+        m = machine(cpus=4, quantum=0.02, sample_service=False,
+                    record_events=False)
+
+        def blinker(run_len, sleep_len):
+            def gen():
+                while True:
+                    yield Run(run_len)
+                    yield Block(sleep_len)
+            return gen()
+
+        tasks = []
+        for i in range(100):
+            beh = GeneratorBehavior(blinker(0.005 + (i % 7) * 0.003,
+                                            0.01 + (i % 5) * 0.007))
+            tasks.append(m.add_task(Task(beh, weight=(i % 4) + 1,
+                                         name=f"t{i}")))
+        m.run_until(5.0)
+        total = sum(t.service for t in tasks)
+        assert 0 < total <= 20.0 + 1e-6
+        # No task got stuck in a bogus state.
+        for t in tasks:
+            assert t.state in (TaskState.RUNNING, TaskState.RUNNABLE,
+                               TaskState.BLOCKED)
+
+    def test_many_simultaneous_arrivals_and_exits(self):
+        from repro.workloads.cpu_bound import FiniteCompute
+
+        m = machine(cpus=2, quantum=0.05)
+        tasks = [
+            m.add_task(Task(FiniteCompute(0.1), weight=1, name=f"f{i}"))
+            for i in range(50)
+        ]
+        m.run_until(10.0)
+        assert all(t.state is TaskState.EXITED for t in tasks)
+        assert sum(t.service for t in tasks) == pytest.approx(5.0)
+
+    def test_run_until_is_resumable(self):
+        m = machine()
+        t = add_inf(m, 1, "A")
+        for step in range(1, 11):
+            m.run_until(step * 0.5)
+            assert t.service == pytest.approx(step * 0.5)

@@ -1,0 +1,197 @@
+"""Tests for stride, lottery, WFQ, BVT, round-robin and GMS-reference."""
+
+import pytest
+
+from tests.conftest import add_inf
+from repro.schedulers.bvt import BorrowedVirtualTimeScheduler
+from repro.schedulers.gms_reference import GMSReferenceScheduler
+from repro.schedulers.lottery import LotteryScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+from repro.schedulers.sfq import StartTimeFairScheduler
+from repro.schedulers.stride import StrideScheduler
+from repro.schedulers.wfq import WeightedFairQueueingScheduler
+from repro.sim.machine import Machine
+from repro.sim.task import Task
+from repro.workloads.cpu_bound import Infinite
+
+
+def run_shares(scheduler, weights, cpus=1, horizon=20.0, quantum=0.1):
+    m = Machine(scheduler, cpus=cpus, quantum=quantum)
+    tasks = [add_inf(m, w, f"w{w}-{i}") for i, w in enumerate(weights)]
+    m.run_until(horizon)
+    total = sum(t.service for t in tasks)
+    return [t.service / total for t in tasks]
+
+
+class TestStride:
+    def test_uniprocessor_proportionality(self):
+        shares = run_shares(StrideScheduler(), [1, 3])
+        assert shares[1] == pytest.approx(0.75, abs=0.05)
+
+    def test_infeasible_weights_without_readjustment_starve(self):
+        # Same pathology as SFQ: [1, 10] on 2 CPUs with a third arrival.
+        m = Machine(StrideScheduler(), cpus=2, quantum=0.01)
+        t1 = add_inf(m, 1, "T1")
+        add_inf(m, 10, "T2")
+        add_inf(m, 1, "T3", at=5.0)
+        m.run_until(7.0)
+        from repro.sim.metrics import service_between
+
+        assert service_between(t1, 5.0, 6.5) < 0.2
+
+    def test_readjustment_restores_fairness(self):
+        m = Machine(StrideScheduler(readjust=True), cpus=2, quantum=0.01)
+        t1 = add_inf(m, 1, "T1")
+        add_inf(m, 10, "T2")
+        add_inf(m, 1, "T3", at=5.0)
+        m.run_until(7.0)
+        from repro.sim.metrics import service_between
+
+        assert service_between(t1, 5.0, 7.0) > 0.6
+
+    def test_full_stride_charged_even_for_partial_quantum(self):
+        # Classic stride over-charges blockers (unlike SFQ/SFS).
+        sched = StrideScheduler()
+        m = Machine(sched, cpus=1, quantum=0.2)
+        t = add_inf(m, 1, "t")
+        m.run_until(0.05)
+        before = t.sched["pass"]
+        sched.on_block(t, 0.05, 0.01)  # ran 10 ms only
+        from repro.schedulers.stride import STRIDE1
+
+        assert t.sched["pass"] - before == pytest.approx(STRIDE1)
+
+
+class TestLottery:
+    def test_statistical_proportionality(self):
+        shares = run_shares(
+            LotteryScheduler(seed=1), [1, 4], horizon=60.0, quantum=0.05
+        )
+        assert shares[1] == pytest.approx(0.8, abs=0.06)
+
+    def test_deterministic_given_seed(self):
+        a = run_shares(LotteryScheduler(seed=3), [1, 2, 3], horizon=5.0)
+        b = run_shares(LotteryScheduler(seed=3), [1, 2, 3], horizon=5.0)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = run_shares(LotteryScheduler(seed=3), [1, 2, 3], horizon=5.0)
+        b = run_shares(LotteryScheduler(seed=4), [1, 2, 3], horizon=5.0)
+        assert a != b
+
+
+class TestRoundRobin:
+    def test_equal_shares_regardless_of_weights(self):
+        shares = run_shares(RoundRobinScheduler(), [1, 10])
+        assert shares[0] == pytest.approx(0.5, abs=0.05)
+
+    def test_rotation_order_is_fifo(self):
+        sched = RoundRobinScheduler()
+        m = Machine(sched, cpus=1, quantum=0.1)
+        tasks = [add_inf(m, 1, f"T{i}") for i in range(3)]
+        picks = []
+        orig = sched.pick_next
+
+        def spy(cpu, now):
+            t = orig(cpu, now)
+            if t is not None:
+                picks.append(t.name)
+            return t
+
+        sched.pick_next = spy
+        m.run_until(0.95)
+        assert picks[:6] == ["T0", "T1", "T2", "T0", "T1", "T2"]
+
+
+class TestWFQ:
+    def test_uniprocessor_proportionality(self):
+        shares = run_shares(WeightedFairQueueingScheduler(), [1, 3])
+        assert shares[1] == pytest.approx(0.75, abs=0.08)
+
+    def test_readjust_variant_has_distinct_name(self):
+        assert WeightedFairQueueingScheduler(readjust=True).name == "WFQ+readjust"
+
+    def test_nominal_quantum_defaults_to_machine(self):
+        sched = WeightedFairQueueingScheduler()
+        Machine(sched, cpus=1, quantum=0.37)
+        assert sched.nominal_quantum == pytest.approx(0.37)
+
+
+class TestBVT:
+    def test_zero_warp_equals_sfq_decisions(self):
+        """The paper: "BVT reduces to SFQ when the latency parameter is
+        set to zero"."""
+
+        def decisions(scheduler):
+            m = Machine(scheduler, cpus=1, quantum=0.2)
+            for i, w in enumerate((1, 2, 3)):
+                add_inf(m, w, f"w{w}-{i}")
+            picks = []
+            orig = scheduler.pick_next
+
+            def spy(cpu, now):
+                t = orig(cpu, now)
+                if t is not None:
+                    picks.append(t.name)
+                return t
+
+            scheduler.pick_next = spy
+            m.run_until(6.0)
+            return picks
+
+        assert decisions(BorrowedVirtualTimeScheduler()) == decisions(
+            StartTimeFairScheduler()
+        )
+
+    def test_warped_thread_gets_priority_on_wakeup(self):
+        import math
+        from repro.sim.events import Block, Run
+        from repro.workloads.base import GeneratorBehavior
+
+        sched = BorrowedVirtualTimeScheduler()
+        m = Machine(sched, cpus=1, quantum=0.2)
+
+        def gen():
+            while True:
+                yield Block(0.5)
+                yield Run(0.01)
+
+        latency_sensitive = m.add_task(
+            Task(GeneratorBehavior(gen()), weight=1, name="ls")
+        )
+        sched.set_warp(latency_sensitive, warp=2.0)
+        add_inf(m, 1, "hog")
+        m.run_until(10.0)
+        # Every wakeup should be served promptly: ~19 bursts of 10 ms.
+        assert latency_sensitive.service == pytest.approx(0.19, abs=0.05)
+
+    def test_warp_must_be_nonnegative(self):
+        sched = BorrowedVirtualTimeScheduler()
+        with pytest.raises(ValueError):
+            sched.set_warp(Task(Infinite(), weight=1), -1.0)
+
+
+class TestGMSReference:
+    def test_proportional_on_multiprocessor(self):
+        shares = run_shares(
+            GMSReferenceScheduler(), [1, 2, 1], cpus=2, horizon=20.0, quantum=0.2
+        )
+        assert shares[1] == pytest.approx(0.5, abs=0.05)
+
+    def test_infeasible_weight_capped(self):
+        m = Machine(GMSReferenceScheduler(), cpus=2, quantum=0.2)
+        a = add_inf(m, 1, "A")
+        b = add_inf(m, 100, "B")
+        m.run_until(10.0)
+        assert b.service == pytest.approx(10.0, abs=0.5)
+        assert a.service == pytest.approx(10.0, abs=0.5)
+
+    def test_deficits_go_negative(self):
+        # Unlike Eq. 4, the true surplus admits deficits.
+        sched = GMSReferenceScheduler()
+        m = Machine(sched, cpus=1, quantum=0.2)
+        a = add_inf(m, 1, "A")
+        b = add_inf(m, 1, "B")
+        m.run_until(0.3)
+        surpluses = [sched.surplus_of(t, m.now) for t in (a, b)]
+        assert min(surpluses) < -0.05

@@ -1,0 +1,33 @@
+"""Unit tests for the Fig. 5 sensitivity experiment module."""
+
+import pytest
+
+from repro.experiments import sensitivity
+
+
+class TestSensitivity:
+    def test_small_sweep_shapes(self):
+        result = sensitivity.run(jitters=(0.0,), seeds=(1, 2),
+                                 schedulers=("gms-reference",))
+        shares = result.shares[("gms-reference", 0.0)]
+        assert len(shares) == 2
+        for s in shares:
+            assert s == pytest.approx(sensitivity.IDEAL_SHORT_SHARE, abs=0.04)
+
+    def test_spread_and_mean_helpers(self):
+        result = sensitivity.SensitivityResult(
+            shares={("sfs", 0.0): [0.2, 0.3, 0.25]}
+        )
+        assert result.spread("sfs", 0.0) == pytest.approx(0.1)
+        assert result.mean("sfs", 0.0) == pytest.approx(0.25)
+
+    def test_render_mentions_every_cell(self):
+        result = sensitivity.run(jitters=(0.0,), seeds=(1,),
+                                 schedulers=("gms-reference",))
+        out = sensitivity.render(result)
+        assert "gms-reference" in out
+        assert "jitter=0.00" in out
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            sensitivity.run(schedulers=("cfs",), jitters=(0.0,), seeds=(1,))

@@ -1,0 +1,118 @@
+"""Tests for multiprocessor SFQ — including the paper's Example 1."""
+
+import pytest
+
+from tests.conftest import add_inf
+from repro.schedulers.sfq import StartTimeFairScheduler
+from repro.sim.machine import Machine
+from repro.sim.metrics import service_between
+
+
+def machine(readjust=False, cpus=2, quantum=0.001, **kw):
+    return Machine(
+        StartTimeFairScheduler(readjust=readjust), cpus=cpus, quantum=quantum, **kw
+    )
+
+
+class TestExample1:
+    """§1.2 Example 1: the infeasible-weights starvation scenario."""
+
+    def _run(self, readjust):
+        m = machine(readjust=readjust)
+        t1 = add_inf(m, 1, "T1")
+        t2 = add_inf(m, 10, "T2")
+        t3 = add_inf(m, 1, "T3", at=1.0)  # 1000 quanta at q=1ms
+        m.run_until(2.5)
+        return m, t1, t2, t3
+
+    def test_tags_match_papers_numbers(self):
+        m, t1, t2, t3 = self._run(readjust=False)
+        # After 1000 quanta: S1 = 1000q/1 = 1.0s, S2 = 1000q/10 = 0.1s.
+        # T3 initialized at the minimum: 0.1.
+        # (tags advance a hair beyond 1.0 before we sample; tolerate one
+        # quantum of skew)
+        assert t1.sched["S"] >= 0.999
+        assert t2.sched["S"] >= 0.0999
+        # T3's *initial* tag was min(S) ~ 0.1; after catching up it has
+        # advanced. Instead check the documented outcome: starvation.
+
+    def test_t1_starves_for_900_quanta(self):
+        m, t1, t2, t3 = self._run(readjust=False)
+        # T1 receives (almost) nothing for ~0.9s after T3 arrives.
+        starved_window = service_between(t1, 1.0, 1.9)
+        assert starved_window < 0.02
+
+    def test_t1_resumes_after_catchup(self):
+        m, t1, t2, t3 = self._run(readjust=False)
+        resumed = service_between(t1, 2.0, 2.5)
+        assert resumed > 0.1
+
+    def test_readjustment_prevents_starvation(self):
+        m, t1, t2, t3 = self._run(readjust=True)
+        # With capped phis, T1 keeps receiving service after T3 arrives.
+        window = service_between(t1, 1.0, 1.9)
+        assert window > 0.15  # ~quarter share of 0.9s
+
+    def test_readjusted_shares_1_2_1(self):
+        m, t1, t2, t3 = self._run(readjust=True)
+        shares = [
+            service_between(t, 1.2, 2.4) / 2.4 for t in (t1, t2, t3)
+        ]
+        assert shares[1] == pytest.approx(2 * shares[0], rel=0.2)
+        assert shares[2] == pytest.approx(shares[0], rel=0.2)
+
+
+class TestSpurts:
+    def test_sfq_schedules_in_spurts(self):
+        """§4.3: SFQ runs large-weight threads continuously for several
+        quanta before yielding ("spurts")."""
+        m = machine(cpus=1, quantum=0.1)
+        heavy = add_inf(m, 10, "heavy")
+        add_inf(m, 1, "light")
+        picks = []
+        sched = m.scheduler
+        orig = sched.pick_next
+
+        def spy(cpu, now):
+            t = orig(cpu, now)
+            if t is not None:
+                picks.append(t.name)
+            return t
+
+        sched.pick_next = spy
+        m.run_until(4.0)
+        # The heavy thread must have a run of many consecutive picks.
+        longest = 0
+        run = 0
+        for name in picks:
+            run = run + 1 if name == "heavy" else 0
+            longest = max(longest, run)
+        assert longest >= 5
+
+
+class TestWakePreemption:
+    def test_woken_thread_with_smaller_tag_preempts(self):
+        import math
+        from repro.sim.events import Block, Run
+        from repro.sim.task import Task
+        from repro.workloads.base import GeneratorBehavior
+
+        m = machine(cpus=1, quantum=0.5)
+
+        def gen():
+            yield Run(0.01)
+            yield Block(0.3)
+            yield Run(0.01)
+            yield Block(0.3)
+            yield Run(math.inf)
+
+        interactive = m.add_task(
+            Task(GeneratorBehavior(gen()), weight=1, name="inter")
+        )
+        add_inf(m, 1, "hog")
+        m.run_until(2.0)
+        # Wakeups at ~0.31s and ~0.62s preempt the hog mid-quantum
+        # rather than waiting out the 500ms quantum.
+        assert interactive.service == pytest.approx(0.02, abs=0.005) or \
+            interactive.service > 0.02
+        assert m.trace.preemptions > 2

@@ -1,0 +1,98 @@
+"""Tests for the §3.2 bounded-scan heuristic."""
+
+import random
+
+import pytest
+
+from tests.conftest import add_inf
+from repro.core.sfs_heuristic import HeuristicSurplusFairScheduler
+from repro.sim.machine import Machine
+from repro.sim.task import Task
+from repro.workloads.cpu_bound import Infinite
+
+
+def machine(scan_depth=20, cpus=4, quantum=0.01, **kw):
+    sched = HeuristicSurplusFairScheduler(scan_depth=scan_depth, **kw)
+    return Machine(sched, cpus=cpus, quantum=quantum), sched
+
+
+def populate(m, n, seed=1):
+    rng = random.Random(seed)
+    for i in range(n):
+        w = rng.choice([1, 1, 2, 4, 8, 16])
+        add_inf(m, w, f"T{i}")
+
+
+class TestAccuracy:
+    def test_scan_covering_all_threads_is_exact(self):
+        m, sched = machine(scan_depth=100, track_accuracy=True)
+        populate(m, 30)
+        m.run_until(2.0)
+        assert sched.accuracy == 1.0
+        assert sched.tracked_decisions > 100
+
+    def test_paper_claim_k20_over_99_percent(self):
+        # Fig. 3: k=20 gives >99% accuracy even at 400 runnable threads
+        # on a quad-processor. Use 150 threads to keep the test fast.
+        m, sched = machine(scan_depth=20, track_accuracy=True)
+        populate(m, 150)
+        m.run_until(2.0)
+        assert sched.accuracy > 0.99
+
+    def test_tiny_scan_is_less_accurate(self):
+        m1, s1 = machine(scan_depth=1, track_accuracy=True, refresh_every=1000)
+        populate(m1, 100)
+        m1.run_until(2.0)
+        m2, s2 = machine(scan_depth=50, track_accuracy=True, refresh_every=1000)
+        populate(m2, 100)
+        m2.run_until(2.0)
+        assert s1.accuracy <= s2.accuracy
+
+    def test_accuracy_defaults_to_one_without_decisions(self):
+        sched = HeuristicSurplusFairScheduler(track_accuracy=True)
+        assert sched.accuracy == 1.0
+
+
+class TestBehaviour:
+    def test_allocation_matches_exact_sfs_closely(self):
+        from repro.core.sfs import SurplusFairScheduler
+
+        def shares(sched):
+            m = Machine(sched, cpus=2, quantum=0.1)
+            tasks = [add_inf(m, w, f"w{w}") for w in (1, 2, 3, 4)]
+            m.run_until(20.0)
+            total = sum(t.service for t in tasks)
+            return [t.service / total for t in tasks]
+
+        exact = shares(SurplusFairScheduler())
+        heur = shares(HeuristicSurplusFairScheduler(scan_depth=20))
+        for a, b in zip(exact, heur):
+            assert a == pytest.approx(b, abs=0.05)
+
+    def test_work_conserving_even_with_tiny_scan(self):
+        sched = HeuristicSurplusFairScheduler(scan_depth=1, refresh_every=10**6)
+        m = Machine(sched, cpus=2, quantum=0.05, check_work_conserving=True)
+        for i in range(10):
+            add_inf(m, i + 1, f"T{i}")
+        m.run_until(3.0)  # must not raise
+
+    def test_periodic_full_refresh_happens(self):
+        m, sched = machine(scan_depth=5, refresh_every=10)
+        populate(m, 50)
+        m.run_until(1.0)
+        assert sched.resort_count >= sched.decision_count // 10 - 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HeuristicSurplusFairScheduler(scan_depth=0)
+        with pytest.raises(ValueError):
+            HeuristicSurplusFairScheduler(refresh_every=0)
+
+    def test_candidates_deduplicated(self):
+        m, sched = machine(scan_depth=50)
+        populate(m, 10)
+        m.run_until(0.1)
+        cands = sched._candidates()
+        tids = [t.tid for t in cands]
+        assert len(tids) == len(set(tids))
+        assert len(cands) <= 10

@@ -1,0 +1,160 @@
+"""Tests for the start/finish-tag machinery (Eqs. 5-6, virtual time)."""
+
+import math
+
+import pytest
+
+from tests.conftest import add_inf
+from repro.core.sfs import SurplusFairScheduler
+from repro.schedulers.sfq import StartTimeFairScheduler
+from repro.sim.events import Block, Run
+from repro.sim.machine import Machine
+from repro.sim.task import Task
+from repro.workloads.base import GeneratorBehavior
+from repro.workloads.cpu_bound import Infinite
+
+
+def sfq_machine(cpus=2, quantum=0.2, **kw):
+    sched = StartTimeFairScheduler(**kw)
+    return Machine(sched, cpus=cpus, quantum=quantum), sched
+
+
+class TestVirtualTime:
+    def test_initial_virtual_time_is_zero(self):
+        _, sched = sfq_machine()
+        assert sched.virtual_time == 0.0
+
+    def test_virtual_time_is_min_start_tag(self):
+        m, sched = sfq_machine(cpus=1, quantum=0.1)
+        a = add_inf(m, 1, "A")
+        b = add_inf(m, 10, "B")
+        m.run_until(1.0)
+        sched._refresh_vtime()
+        tags = [a.sched["S"], b.sched["S"]]
+        assert sched.virtual_time == pytest.approx(min(tags))
+
+    def test_virtual_time_held_at_last_finish_when_idle(self):
+        m, sched = sfq_machine(cpus=1, quantum=0.2)
+
+        def gen():
+            yield Run(0.5)
+
+        t = m.add_task(Task(GeneratorBehavior(gen()), weight=1, name="solo"))
+        m.run_until(2.0)
+        # The system went idle; v holds at the last finish tag.
+        assert sched.virtual_time == pytest.approx(t.sched["F"])
+
+    def test_new_arrival_starts_at_virtual_time(self):
+        m, sched = sfq_machine(cpus=1, quantum=0.2)
+        add_inf(m, 1, "A")
+        late = add_inf(m, 1, "B", at=1.0)
+        m.run_until(1.0001)
+        # B's start tag equals v at its arrival, i.e. A's min tag then.
+        assert late.sched["S"] == pytest.approx(1.0, abs=0.21)
+
+    def test_arrival_into_idle_system_resumes_from_last_finish(self):
+        m, sched = sfq_machine(cpus=1, quantum=0.2)
+
+        def gen():
+            yield Run(0.4)
+
+        first = m.add_task(Task(GeneratorBehavior(gen()), weight=1, name="a"))
+        second = add_inf(m, 1, "b", at=2.0)
+        # Sample immediately after arrival, before b's own tag advances.
+        m.run_until(2.01)
+        assert second.sched["S"] == pytest.approx(first.sched["F"])
+
+
+class TestTagUpdates:
+    def test_finish_tag_uses_actual_run_length(self):
+        # A thread that blocks mid-quantum is charged only what it ran
+        # (Eq. 5 with variable q).
+        m, sched = sfq_machine(cpus=1, quantum=0.2)
+
+        def gen():
+            yield Run(0.05)  # less than the quantum
+            yield Block(1.0)
+            yield Run(math.inf)
+
+        t = m.add_task(Task(GeneratorBehavior(gen()), weight=1, name="t"))
+        m.run_until(0.06)
+        assert t.sched["F"] == pytest.approx(0.05)
+
+    def test_continuously_runnable_start_is_previous_finish(self):
+        m, sched = sfq_machine(cpus=1, quantum=0.2)
+        a = add_inf(m, 1, "A")
+        add_inf(m, 1, "B")
+        m.run_until(0.21)
+        # A ran the first quantum; its S must equal its F.
+        assert a.sched["S"] == a.sched["F"] == pytest.approx(0.2)
+
+    def test_wakeup_start_tag_is_max_of_finish_and_vtime(self):
+        # §2.3: sleeping must not accumulate credit.
+        m, sched = sfq_machine(cpus=1, quantum=0.2)
+
+        def gen():
+            yield Run(0.1)
+            yield Block(5.0)
+            yield Run(math.inf)
+
+        sleeper = m.add_task(Task(GeneratorBehavior(gen()), weight=1, name="s"))
+        add_inf(m, 1, "hog")
+        m.run_until(6.0)
+        # While asleep, v advanced well past the sleeper's F (~0.1+).
+        assert sleeper.sched["S"] > sleeper.sched["F"] - 1e-9
+        assert sleeper.sched["S"] >= 4.0  # roughly v at wake time
+
+    def test_tag_rate_inversely_proportional_to_phi(self):
+        m, sched = sfq_machine(cpus=2, quantum=0.2, readjust=True)
+        a = add_inf(m, 1, "A")
+        b = add_inf(m, 10, "B")  # readjusted to phi=1
+        c = add_inf(m, 1, "C")
+        m.run_until(10.0)
+        # With phis [1, 2, 1], B's tag advances at half rate per second
+        # of service; all tags advance at equal wall rates in steady
+        # state, so services are 1:2:1 and tags stay close.
+        assert b.phi == pytest.approx(2.0)
+        tags = sorted(t.sched["S"] for t in (a, b, c))
+        assert tags[-1] - tags[0] < 1.0
+
+
+class TestWeightChangeHook:
+    def test_plain_scheduler_mirrors_weight_into_phi(self):
+        m, sched = sfq_machine(cpus=1)
+        a = add_inf(m, 1, "A")
+        m.run_until(0.5)
+        m.change_weight(a, 7.0)
+        assert a.phi == 7.0
+
+    def test_readjusting_scheduler_caps_phi(self):
+        m, sched = sfq_machine(cpus=2, readjust=True)
+        a = add_inf(m, 1, "A")
+        b = add_inf(m, 1, "B")
+        c = add_inf(m, 1, "C")
+        m.run_until(0.5)
+        m.change_weight(c, 100.0)
+        # 100/102 > 1/2: c is capped to an effective half share.
+        assert c.phi == pytest.approx(2.0)
+        assert c.weight == 100.0
+
+
+class TestRunnableBookkeeping:
+    def test_runnable_tasks_sorted_by_tid(self):
+        m, sched = sfq_machine(cpus=2)
+        tasks = [add_inf(m, 1, f"T{i}") for i in range(4)]
+        m.run_until(0.1)
+        assert sched.runnable_tasks() == tasks
+
+    def test_blocked_task_leaves_runnable_set(self):
+        m, sched = sfq_machine(cpus=1)
+
+        def gen():
+            yield Run(0.05)
+            yield Block(10.0)
+            yield Run(math.inf)
+
+        t = m.add_task(Task(GeneratorBehavior(gen()), weight=1, name="b"))
+        add_inf(m, 1, "bg")
+        m.run_until(1.0)
+        assert t not in sched.runnable_tasks()
+        assert len(sched.start_queue) == 1

@@ -1,0 +1,99 @@
+"""Unit tests for the Task record and Trace collection."""
+
+import pytest
+
+from tests.conftest import add_inf
+from repro.core.sfs import SurplusFairScheduler
+from repro.sim import tracing
+from repro.sim.machine import Machine
+from repro.sim.task import Task, TaskState
+from repro.sim.tracing import Trace, TraceEvent
+from repro.workloads.cpu_bound import Infinite
+
+
+class TestTask:
+    def test_unique_increasing_tids(self):
+        a = Task(Infinite(), weight=1)
+        b = Task(Infinite(), weight=1)
+        assert b.tid == a.tid + 1
+
+    def test_default_name_from_tid(self):
+        t = Task(Infinite(), weight=1)
+        assert t.name == f"task{t.tid}"
+
+    def test_initial_state(self):
+        t = Task(Infinite(), weight=2.5)
+        assert t.state is TaskState.NEW
+        assert t.phi == 2.5
+        assert t.service == 0.0
+        assert not t.is_runnable
+
+    def test_is_runnable_states(self):
+        t = Task(Infinite(), weight=1)
+        t.state = TaskState.RUNNABLE
+        assert t.is_runnable
+        t.state = TaskState.RUNNING
+        assert t.is_runnable
+        t.state = TaskState.BLOCKED
+        assert not t.is_runnable
+
+    def test_repr_contains_essentials(self):
+        t = Task(Infinite(), weight=3, name="web")
+        out = repr(t)
+        assert "web" in out and "w=3" in out
+
+    def test_ts_priority_stored(self):
+        t = Task(Infinite(), weight=1, ts_priority=35)
+        assert t.ts_priority == 35
+
+
+class TestTrace:
+    def test_events_between(self):
+        trace = Trace()
+        t = Task(Infinite(), weight=1)
+        trace.record(1.0, tracing.ARRIVE, t)
+        trace.record(2.0, tracing.BLOCK, t)
+        trace.record(3.0, tracing.WAKE, t)
+        windowed = list(trace.events_between(1.5, 2.5))
+        assert len(windowed) == 1
+        assert windowed[0].kind == tracing.BLOCK
+
+    def test_recording_can_be_disabled(self):
+        trace = Trace(record_events=False)
+        t = Task(Infinite(), weight=1)
+        trace.record(1.0, tracing.ARRIVE, t)
+        trace.record_run(0, t.tid, 0.0, 1.0)
+        assert trace.events == []
+        assert trace.run_intervals == []
+
+    def test_zero_length_run_interval_dropped(self):
+        trace = Trace()
+        trace.record_run(0, 1, 2.0, 2.0)
+        assert trace.run_intervals == []
+
+    def test_summary_keys(self):
+        trace = Trace()
+        summary = trace.summary()
+        assert set(summary) >= {
+            "context_switches",
+            "dispatches",
+            "decisions",
+            "preemptions",
+            "overhead_time",
+        }
+
+    def test_machine_populates_counters(self):
+        m = Machine(SurplusFairScheduler(), cpus=2, quantum=0.1)
+        add_inf(m, 1, "A")
+        add_inf(m, 1, "B")
+        add_inf(m, 1, "C")
+        m.run_until(2.0)
+        s = m.trace.summary()
+        assert s["dispatches"] > 10
+        assert s["decisions"] >= s["dispatches"]
+        assert s["preemptions"] > 5
+
+    def test_trace_event_is_immutable(self):
+        ev = TraceEvent(1.0, tracing.ARRIVE, 1, 1.0)
+        with pytest.raises(AttributeError):
+            ev.time = 2.0

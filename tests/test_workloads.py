@@ -1,0 +1,207 @@
+"""Tests for the workload behaviours (§4.1 applications)."""
+
+import math
+import random
+
+import pytest
+
+from tests.conftest import add_inf
+from repro.core.sfs import SurplusFairScheduler
+from repro.sim.events import Block, Exit, Run
+from repro.sim.machine import Machine
+from repro.sim.task import Task
+from repro.workloads.base import GeneratorBehavior
+from repro.workloads.cpu_bound import FiniteCompute, Infinite, iterations
+from repro.workloads.disksim import DisksimBatch
+from repro.workloads.gcc_build import CompileJob
+from repro.workloads.interactive import Interactive
+from repro.workloads.mpeg import MpegDecoder
+
+
+def machine(cpus=1, quantum=0.2, **kw):
+    return Machine(SurplusFairScheduler(), cpus=cpus, quantum=quantum, **kw)
+
+
+class TestInfinite:
+    def test_first_segment_runs_forever(self):
+        seg = Infinite().start(0.0)
+        assert isinstance(seg, Run)
+        assert math.isinf(seg.duration)
+
+    def test_iterations_scale_with_service(self):
+        m = machine()
+        t = add_inf(m, 1, "A")
+        m.run_until(2.0)
+        assert iterations(t, rate=1000.0) == pytest.approx(2000.0)
+
+
+class TestFiniteCompute:
+    def test_records_completion_time(self):
+        m = machine()
+        beh = FiniteCompute(0.3)
+        m.add_task(Task(beh, weight=1, name="f"))
+        m.run_until(1.0)
+        assert beh.completed_at == pytest.approx(0.3)
+
+    def test_rejects_negative_cpu(self):
+        with pytest.raises(ValueError):
+            FiniteCompute(-1.0)
+
+
+class TestInteractive:
+    def test_records_response_times(self):
+        m = machine()
+        beh = Interactive(think_time=0.5, burst=0.01)
+        m.add_task(Task(beh, weight=1, name="i"))
+        m.run_until(3.0)
+        assert len(beh.responses) >= 4
+        # Uncontended: response equals the burst.
+        for _, rt in beh.responses:
+            assert rt == pytest.approx(0.01, abs=1e-6)
+
+    def test_response_time_at_least_burst_under_contention(self):
+        m = machine()
+        beh = Interactive(think_time=0.3, burst=0.01)
+        m.add_task(Task(beh, weight=1, name="i"))
+        add_inf(m, 1, "hog")
+        m.run_until(10.0)
+        # Response can never be below the burst itself; with wakeup
+        # preemption it stays close to it.
+        assert beh.mean_response_time() >= 0.01 - 1e-9
+        assert len(beh.responses) >= 10
+
+    def test_randomized_thinks_are_reproducible(self):
+        def responses(seed):
+            m = machine()
+            beh = Interactive(think_time=0.2, burst=0.01, rng=random.Random(seed))
+            m.add_task(Task(beh, weight=1, name="i"))
+            m.run_until(5.0)
+            return beh.responses
+
+        assert responses(1) == responses(1)
+        assert responses(1) != responses(2)
+
+    def test_mean_of_no_responses_is_zero(self):
+        assert Interactive().mean_response_time() == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Interactive(think_time=-1)
+        with pytest.raises(ValueError):
+            Interactive(burst=0)
+
+
+class TestMpegDecoder:
+    def test_uncontended_decoder_hits_target_fps(self):
+        m = machine()
+        beh = MpegDecoder(frame_cost=0.02, target_fps=30.0)
+        m.add_task(Task(beh, weight=1, name="mpeg"))
+        m.run_until(10.0)
+        assert beh.achieved_fps(1.0, 10.0) == pytest.approx(30.0, abs=1.0)
+
+    def test_decoder_paces_itself(self):
+        # 20 ms decode at 30 fps uses only ~60% of the CPU.
+        m = machine()
+        beh = MpegDecoder(frame_cost=0.02, target_fps=30.0)
+        t = m.add_task(Task(beh, weight=1, name="mpeg"))
+        m.run_until(10.0)
+        assert t.service == pytest.approx(0.02 * 30 * 10, abs=0.5)
+
+    def test_starved_decoder_fps_tracks_cpu_share(self):
+        m = machine()
+        beh = MpegDecoder(frame_cost=0.02, target_fps=30.0)
+        m.add_task(Task(beh, weight=1, name="mpeg"))
+        add_inf(m, 1, "hog")  # decoder gets ~half the CPU
+        m.run_until(20.0)
+        expected = 0.5 / 0.02  # share / frame cost = 25 fps
+        assert beh.achieved_fps(4.0, 20.0) == pytest.approx(expected, abs=3.0)
+
+    def test_total_frames_leads_to_exit(self):
+        m = machine()
+        beh = MpegDecoder(frame_cost=0.01, target_fps=100.0, total_frames=5)
+        t = m.add_task(Task(beh, weight=1, name="mpeg"))
+        m.run_until(2.0)
+        assert len(beh.frame_times) == 5
+        assert t.exit_time is not None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MpegDecoder(frame_cost=0)
+        with pytest.raises(ValueError):
+            MpegDecoder(target_fps=0)
+
+
+class TestCompileJob:
+    def test_alternates_bursts_and_io(self):
+        m = machine()
+        beh = CompileJob(random.Random(1))
+        t = m.add_task(Task(beh, weight=1, name="gcc"))
+        m.run_until(10.0)
+        assert t.block_count > 10
+        assert t.service > 5.0  # mostly CPU-bound
+
+    def test_finite_compile_exits(self):
+        m = machine()
+        beh = CompileJob(random.Random(1), total_cpu=0.5)
+        t = m.add_task(Task(beh, weight=1, name="gcc"))
+        m.run_until(5.0)
+        assert t.exit_time is not None
+        assert t.service == pytest.approx(0.5, abs=0.01)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CompileJob(random.Random(1), burst_mean=0)
+        with pytest.raises(ValueError):
+            CompileJob(random.Random(1), io_mean=-1)
+
+
+class TestDisksim:
+    def test_pure_cpu_by_default(self):
+        m = machine()
+        t = m.add_task(Task(DisksimBatch(), weight=1, name="d"))
+        m.run_until(3.0)
+        assert t.service == pytest.approx(3.0)
+        assert t.block_count == 0
+
+    def test_checkpoints_block_occasionally(self):
+        m = machine()
+        beh = DisksimBatch(checkpoint_every=0.2, rng=random.Random(1))
+        t = m.add_task(Task(beh, weight=1, name="d"))
+        m.run_until(5.0)
+        assert t.block_count > 5
+
+    def test_checkpoints_require_rng(self):
+        with pytest.raises(ValueError):
+            DisksimBatch(checkpoint_every=1.0)
+
+
+class TestGeneratorBehavior:
+    def test_receives_completion_times(self):
+        times = []
+
+        def gen():
+            now = yield Run(0.5)
+            times.append(now)
+            now = yield Block(1.0)
+            times.append(now)
+            yield Exit()
+
+        m = machine()
+        m.add_task(Task(GeneratorBehavior(gen()), weight=1, name="g"))
+        m.run_until(3.0)
+        assert times == [pytest.approx(0.5), pytest.approx(1.5)]
+
+    def test_exhausted_generator_exits_task(self):
+        def gen():
+            yield Run(0.1)
+
+        m = machine()
+        t = m.add_task(Task(GeneratorBehavior(gen()), weight=1, name="g"))
+        m.run_until(1.0)
+        assert t.exit_time == pytest.approx(0.1)
+
+    def test_cannot_restart(self):
+        beh = GeneratorBehavior(iter([Run(1.0)]))
+        beh.start(0.0)
+        with pytest.raises(RuntimeError):
+            beh.start(0.0)
