@@ -14,8 +14,11 @@ table1     Table 1: lmbench scheduling overheads
 fig7       Fig. 7: context-switch overhead vs process count
 =========  =======================================================
 
-Each module exposes ``run(...) -> Result`` and ``render(Result) -> str``.
-The CLI (``sfs-experiment``) and the pytest-benchmark harness in
+Each module exposes ``run(...) -> Result`` and ``render(Result) -> str``,
+and defines its population as a declarative
+:class:`repro.scenario.Scenario` (exposed as ``scenario(...)``) fed
+through :func:`repro.scenario.run_scenario`. The CLI
+(``sfs-experiment``) and the pytest-benchmark harness in
 ``benchmarks/`` drive these.
 """
 

@@ -1,14 +1,31 @@
-"""Command-line entry point: ``sfs-experiment <id> [options]``.
+"""Command-line entry point: ``sfs-experiment <subcommand>``.
 
-Regenerates any of the paper's figures/tables as text (and optionally
-CSV). ``sfs-experiment all`` runs the whole evaluation section.
+Subcommands:
+
+- ``sfs-experiment run <id|all> [--csv DIR] [--json DIR]`` —
+  regenerate any of the paper's figures/tables as text and optionally
+  export the underlying data as CSV (via :mod:`repro.analysis.csvout`)
+  or JSON;
+- ``sfs-experiment sweep --scheduler sfs sfq --cpus 1 2 4 ...`` — run a
+  cartesian policy x machine grid of the canonical proportional-share
+  workload across a process pool, with deterministic output ordering;
+- ``sfs-experiment list`` — show experiment ids, registered scheduler
+  names and canned sweep metrics.
+
+For backwards compatibility, ``sfs-experiment <id|all>`` (without the
+``run`` subcommand) still works.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
+import os
 import sys
+from typing import Any, Callable
 
+from repro.analysis.csvout import write_rows, write_series
 from repro.experiments import (
     fig1_infeasible,
     fig3_heuristic,
@@ -21,96 +38,379 @@ from repro.experiments import (
     sensitivity,
     table1_lmbench,
 )
+from repro.scenario import Scenario, Sweep, group, run_sweep, task
+from repro.schedulers.registry import scheduler_names
 
 __all__ = ["main", "EXPERIMENTS"]
 
+#: experiment id -> ((variant label, run thunk, render fn), ...)
+#: A variant is one ``run()`` invocation; multi-variant experiments
+#: (fig1, fig4, fig5) render each variant separated by a blank line.
+_VARIANTS: dict[str, tuple[tuple[str, Callable[[], Any], Callable[[Any], str]], ...]] = {
+    "fig1": (
+        ("sfq", lambda: fig1_infeasible.run("sfq"), fig1_infeasible.render),
+        ("sfq-readjust", lambda: fig1_infeasible.run("sfq-readjust"),
+         fig1_infeasible.render),
+    ),
+    "fig3": (("", fig3_heuristic.run, fig3_heuristic.render),),
+    "fig4": (
+        ("sfq", lambda: fig4_readjustment.run("sfq"), fig4_readjustment.render),
+        ("sfq-readjust", lambda: fig4_readjustment.run("sfq-readjust"),
+         fig4_readjustment.render),
+    ),
+    "fig5": (
+        ("sfq", lambda: fig5_shortjobs.run("sfq"), fig5_shortjobs.render),
+        ("sfs", lambda: fig5_shortjobs.run("sfs"), fig5_shortjobs.render),
+    ),
+    "fig6a": (("", fig6a_proportional.run, fig6a_proportional.render),),
+    "fig6b": (("", fig6b_isolation.run, fig6b_isolation.render),),
+    "fig6c": (("", fig6c_interactive.run, fig6c_interactive.render),),
+    "table1": (("", table1_lmbench.run, table1_lmbench.render),),
+    "fig7": (("", fig7_ctxswitch.run, fig7_ctxswitch.render),),
+    "sensitivity": (("", sensitivity.run, sensitivity.render),),
+}
 
-def _fig1() -> str:
-    parts = [
-        fig1_infeasible.render(fig1_infeasible.run("sfq")),
-        "",
-        fig1_infeasible.render(fig1_infeasible.run("sfq-readjust")),
-    ]
-    return "\n".join(parts)
-
-
-def _fig3() -> str:
-    return fig3_heuristic.render(fig3_heuristic.run())
-
-
-def _fig4() -> str:
-    parts = [
-        fig4_readjustment.render(fig4_readjustment.run("sfq")),
-        "",
-        fig4_readjustment.render(fig4_readjustment.run("sfq-readjust")),
-    ]
-    return "\n".join(parts)
-
-
-def _fig5() -> str:
-    parts = [
-        fig5_shortjobs.render(fig5_shortjobs.run("sfq")),
-        "",
-        fig5_shortjobs.render(fig5_shortjobs.run("sfs")),
-    ]
-    return "\n".join(parts)
-
-
-def _fig6a() -> str:
-    return fig6a_proportional.render(fig6a_proportional.run())
-
-
-def _fig6b() -> str:
-    return fig6b_isolation.render(fig6b_isolation.run())
-
-
-def _fig6c() -> str:
-    return fig6c_interactive.render(fig6c_interactive.run())
-
-
-def _table1() -> str:
-    return table1_lmbench.render(table1_lmbench.run())
-
-
-def _fig7() -> str:
-    return fig7_ctxswitch.render(fig7_ctxswitch.run())
-
-
-def _sensitivity() -> str:
-    return sensitivity.render(sensitivity.run())
-
-
-EXPERIMENTS = {
-    "fig1": _fig1,
-    "fig3": _fig3,
-    "fig4": _fig4,
-    "fig5": _fig5,
-    "fig6a": _fig6a,
-    "fig6b": _fig6b,
-    "fig6c": _fig6c,
-    "table1": _table1,
-    "fig7": _fig7,
-    "sensitivity": _sensitivity,
+_DESCRIPTIONS = {
+    "fig1": "Fig. 1 / Example 1: infeasible weights starve SFQ",
+    "fig3": "Fig. 3: §3.2 heuristic accuracy vs scan depth",
+    "fig4": "Fig. 4: SFQ with/without weight readjustment",
+    "fig5": "Fig. 5: short jobs problem, SFQ vs SFS",
+    "fig6a": "Fig. 6(a): proportionate dhrystone allocation",
+    "fig6b": "Fig. 6(b): MPEG isolation from compilations",
+    "fig6c": "Fig. 6(c): interactive response under batch load",
+    "table1": "Table 1: lmbench scheduling overheads",
+    "fig7": "Fig. 7: context-switch overhead vs process count",
+    "sensitivity": "Fig. 5 sensitivity: T_short share vs timer jitter",
 }
 
 
-def main(argv: list[str] | None = None) -> int:
+def _run_experiment(name: str) -> tuple[str, list[tuple[str, Any]]]:
+    """Run every variant of one experiment: (rendered text, results)."""
+    rendered: list[str] = []
+    results: list[tuple[str, Any]] = []
+    for label, run_thunk, render_fn in _VARIANTS[name]:
+        result = run_thunk()
+        rendered.append(render_fn(result))
+        results.append((label, result))
+    return "\n\n".join(rendered), results
+
+
+def _make_text_runner(name: str) -> Callable[[], str]:
+    def runner() -> str:
+        return _run_experiment(name)[0]
+
+    return runner
+
+
+#: id -> zero-argument callable returning the rendered text (kept as the
+#: stable programmatic surface; the subcommands build on _VARIANTS)
+EXPERIMENTS: dict[str, Callable[[], str]] = {
+    name: _make_text_runner(name) for name in _VARIANTS
+}
+
+
+# ----------------------------------------------------------------------
+# result export (CSV via analysis.csvout, JSON via a generic walk)
+# ----------------------------------------------------------------------
+
+def _key_str(key: Any) -> str:
+    """Flatten tuple keys like (100, 20) to '100:20' for CSV/JSON."""
+    if isinstance(key, tuple):
+        return ":".join(str(k) for k in key)
+    return str(key)
+
+
+def _is_series(value: Any) -> bool:
+    """A non-empty list of (x, y) pairs?"""
+    return (
+        isinstance(value, list)
+        and len(value) > 0
+        and all(
+            isinstance(p, tuple) and len(p) == 2
+            and all(isinstance(v, (int, float)) for v in p)
+            for p in value
+        )
+    )
+
+
+def _export_csv(outdir: str, name: str, label: str, result: Any) -> list[str]:
+    """Write one result dataclass as CSV files; returns paths written."""
+    base = name if not label else f"{name}_{label}"
+    written: list[str] = []
+    summary: list[tuple[str, Any]] = []
+    for fld in dataclasses.fields(result):
+        value = getattr(result, fld.name)
+        if isinstance(value, dict) and value and all(
+            _is_series(v) for v in value.values()
+        ):
+            written.append(
+                write_series(
+                    os.path.join(outdir, f"{base}_{fld.name}.csv"),
+                    {_key_str(k): v for k, v in value.items()},
+                )
+            )
+        elif isinstance(value, dict) and value and all(
+            isinstance(v, (int, float)) for v in value.values()
+        ):
+            written.append(
+                write_rows(
+                    os.path.join(outdir, f"{base}_{fld.name}.csv"),
+                    [fld.name, "value"],
+                    [(_key_str(k), v) for k, v in value.items()],
+                )
+            )
+        elif isinstance(value, dict) and value and all(
+            isinstance(v, (tuple, list))
+            and all(isinstance(x, (int, float)) for x in v)
+            for v in value.values()
+        ):
+            width = max(len(v) for v in value.values())
+            written.append(
+                write_rows(
+                    os.path.join(outdir, f"{base}_{fld.name}.csv"),
+                    [fld.name] + [f"value{i + 1}" for i in range(width)],
+                    [(_key_str(k), *v) for k, v in value.items()],
+                )
+            )
+        elif isinstance(value, (int, float, str)):
+            summary.append((fld.name, value))
+        elif isinstance(value, (tuple, list)) and all(
+            isinstance(v, (int, float, str)) for v in value
+        ):
+            summary.append((fld.name, _key_str(tuple(value))))
+    if summary:
+        written.append(
+            write_rows(
+                os.path.join(outdir, f"{base}_summary.csv"),
+                ["field", "value"],
+                summary,
+            )
+        )
+    return written
+
+
+_SKIP = object()  # sentinel: value has no JSON representation
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON conversion; unserializable leaves become _SKIP."""
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        items = [_jsonable(v) for v in value]
+        return _SKIP if any(v is _SKIP for v in items) else items
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            converted = _jsonable(v)
+            if converted is not _SKIP:
+                out[_key_str(k)] = converted
+        return out
+    return _SKIP
+
+
+def _export_json(outdir: str, name: str, label: str, result: Any) -> str:
+    """Write one result dataclass as a JSON file; returns the path."""
+    base = name if not label else f"{name}_{label}"
+    payload = {}
+    for fld in dataclasses.fields(result):
+        converted = _jsonable(getattr(result, fld.name))
+        if converted is not _SKIP:
+            payload[fld.name] = converted
+    os.makedirs(outdir, exist_ok=True)
+    path = os.path.join(outdir, f"{base}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    exported: list[str] = []
+    for name in names:
+        print(f"=== {name} " + "=" * (70 - len(name)))
+        text, results = _run_experiment(name)
+        print(text)
+        print()
+        for label, result in results:
+            if args.csv:
+                exported.extend(_export_csv(args.csv, name, label, result))
+            if args.json:
+                exported.append(_export_json(args.json, name, label, result))
+    for path in exported:
+        print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _sweep_base(args: argparse.Namespace) -> Scenario:
+    """The canonical sweep workload: 1 heavy + N-1 unit-weight Inf tasks."""
+    if args.tasks < 1:
+        raise ValueError(f"--tasks must be >= 1, got {args.tasks}")
+    return Scenario(
+        name="cli-sweep",
+        scheduler="sfs",
+        duration=args.duration,
+        tasks=(
+            task("heavy", args.heavy_weight),
+            *group(args.tasks - 1, 1, "bg"),
+        ),
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    metrics = ("shares", "jains", "context_switches")
+    sweep = Sweep(
+        base=_sweep_base(args),
+        schedulers=tuple(args.scheduler),
+        cpus=tuple(args.cpus),
+        quanta=tuple(args.quantum),
+        metrics=metrics,
+    )
+    cells = run_sweep(sweep, workers=args.workers)
+    header = f"{'scheduler':16s} {'cpus':>4s} {'quantum':>8s} {'jains':>7s} {'heavy':>7s} {'ctx':>8s}"
+    print(f"sweep: {len(cells)} cells "
+          f"({len(args.scheduler) or 1} schedulers x {len(args.cpus) or 1} cpus"
+          f" x {len(args.quantum) or 1} quanta)")
+    print(header)
+    rows = []
+    for cell in cells:
+        shares = cell.metrics["shares"]
+        row = (
+            cell.scheduler,
+            cell.cpus,
+            cell.quantum,
+            cell.metrics["jains"],
+            shares["heavy"],
+            cell.metrics["context_switches"],
+        )
+        rows.append(row)
+        print(
+            f"{row[0]:16s} {row[1]:4d} {row[2]:8g} {row[3]:7.4f} "
+            f"{row[4]:7.4f} {row[5]:8d}"
+        )
+    headers = ["scheduler", "cpus", "quantum", "jains", "heavy_share",
+               "context_switches"]
+    if args.csv:
+        path = write_rows(
+            os.path.join(args.csv, "sweep.csv"), headers, rows
+        )
+        print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        os.makedirs(args.json, exist_ok=True)
+        path = os.path.join(args.json, "sweep.json")
+        with open(path, "w") as fh:
+            json.dump(
+                [dict(zip(headers, row)) for row in rows],
+                fh, indent=2,
+            )
+            fh.write("\n")
+        print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.scenario.result import METRICS
+
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name:12s} {_DESCRIPTIONS.get(name, '')}")
+    print()
+    print("schedulers (registry names usable with `sweep --scheduler`):")
+    for name in scheduler_names():
+        print(f"  {name}")
+    print()
+    print("sweep metrics (Sweep.metrics / Scenario.metrics names):")
+    for name in sorted(METRICS):
+        print(f"  {name}")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sfs-experiment",
-        description="Regenerate figures/tables from the SFS paper (OSDI 2000).",
+        description="Regenerate figures/tables from the SFS paper (OSDI 2000) "
+        "and run declarative scenario sweeps.",
     )
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser(
+        "run", help="regenerate one paper artifact (or all of them)"
+    )
+    p_run.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which paper artifact to regenerate",
     )
-    args = parser.parse_args(argv)
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(f"=== {name} " + "=" * (70 - len(name)))
-        print(EXPERIMENTS[name]())
-        print()
-    return 0
+    p_run.add_argument(
+        "--csv", metavar="DIR", default=None,
+        help="also export result data as CSV files into DIR",
+    )
+    p_run.add_argument(
+        "--json", metavar="DIR", default=None,
+        help="also export result data as JSON files into DIR",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a policy x machine grid of the canonical workload",
+    )
+    p_sweep.add_argument(
+        "--scheduler", nargs="+", default=["sfs", "sfq"],
+        metavar="NAME", help="registry scheduler names (see `list`)",
+    )
+    p_sweep.add_argument(
+        "--cpus", nargs="+", type=int, default=[1, 2, 4], metavar="N",
+        help="CPU counts to sweep",
+    )
+    p_sweep.add_argument(
+        "--quantum", nargs="+", type=float, default=[0.2], metavar="SEC",
+        help="quantum lengths to sweep",
+    )
+    p_sweep.add_argument(
+        "--tasks", type=int, default=8, metavar="N",
+        help="population size (1 heavy + N-1 unit-weight tasks)",
+    )
+    p_sweep.add_argument(
+        "--heavy-weight", type=float, default=4.0, metavar="W",
+        help="weight of the heavy task",
+    )
+    p_sweep.add_argument(
+        "--duration", type=float, default=10.0, metavar="SEC",
+        help="simulated seconds per cell",
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size (0 forces serial execution)",
+    )
+    p_sweep.add_argument("--csv", metavar="DIR", default=None,
+                         help="write sweep.csv into DIR")
+    p_sweep.add_argument("--json", metavar="DIR", default=None,
+                         help="write sweep.json into DIR")
+
+    sub.add_parser("list", help="list experiment ids and scheduler names")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Backwards compatibility: `sfs-experiment fig1` == `... run fig1`.
+    if argv and argv[0] in EXPERIMENTS or argv[:1] == ["all"]:
+        argv = ["run", *argv]
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        try:
+            return _cmd_sweep(args)
+        except ValueError as exc:
+            print(f"sfs-experiment sweep: error: {exc}", file=sys.stderr)
+            return 2
+    return _cmd_list(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,9 +1,12 @@
-"""Shared scaffolding for the per-figure experiment modules.
+"""Imperative helpers for ad-hoc simulation scripts.
 
-Every experiment module exposes ``run(...) -> <Result dataclass>`` and
-``render(result) -> str``; the helpers here build machines and standard
-task populations so the experiment files read like the paper's §4
-prose.
+The experiment modules themselves are declarative now — each defines a
+:class:`repro.scenario.Scenario` and feeds it through
+:func:`repro.scenario.run_scenario` (see any ``figN_*.py``). These
+helpers remain for quick interactive exploration where constructing a
+:class:`~repro.sim.machine.Machine` by hand reads better than a spec;
+they build machines and standard task populations matching the paper's
+§4.1 testbed.
 """
 
 from __future__ import annotations
@@ -18,9 +21,24 @@ __all__ = [
     "make_machine",
     "add_inf",
     "add_inf_group",
+    "resolve_scheduler",
     "PAPER_QUANTUM",
     "PAPER_CPUS",
 ]
+
+
+def resolve_scheduler(mapping: dict, name: str):
+    """Look up an experiment's scheduler alias, with a uniform error.
+
+    Each experiment module restricts itself to the schedulers its
+    figure compares (a ``name -> registry spec`` mapping); anything
+    else is rejected with ``ValueError`` rather than silently running
+    an unrelated policy.
+    """
+    try:
+        return mapping[name]
+    except KeyError:
+        raise ValueError(f"unsupported scheduler {name!r}") from None
 
 #: the paper's testbed parameters (§4.1)
 PAPER_QUANTUM = 0.2

@@ -8,9 +8,10 @@ continuously until their tags catch up with thread 1's tag of 1000 —
 thread 1, despite sharing thread 3's weight, **starves for ~900
 quanta**.
 
-``run()`` reproduces the trace; the result records the tag values at
-arrival, the measured starvation interval of thread 1, and the
-cumulative-service series of all three threads. Running the same
+``run()`` reproduces the trace via a declarative
+:class:`~repro.scenario.spec.Scenario`; the result records the tag
+values at arrival, the measured starvation interval of thread 1, and
+the cumulative-service series of all three threads. Running the same
 scenario with ``readjust=True`` (or with SFS) removes the starvation —
 the per-figure benchmark asserts both.
 """
@@ -20,18 +21,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.charts import line_chart
-from repro.analysis.fairness import longest_starvation
-from repro.analysis.timeseries import cumulative_series, regular_times
-from repro.core.sfs import SurplusFairScheduler
-from repro.experiments.common import add_inf, make_machine
-from repro.schedulers.sfq import StartTimeFairScheduler
+from repro.analysis.timeseries import regular_times
+from repro.experiments.common import resolve_scheduler
+from repro.scenario import Probe, Scenario, run_scenario, task
 from repro.sim.task import Task
 
-__all__ = ["Fig1Result", "run", "render"]
+__all__ = ["Fig1Result", "run", "render", "scenario"]
 
 #: Example 1 parameters
 QUANTUM = 0.001  # 1 ms
 ARRIVAL_QUANTA = 1000  # thread 3 arrives after 1000 quanta
+
+#: experiment name -> (registry name, constructor params)
+_SCHEDULERS = {
+    "sfq": ("sfq", {"readjust": False}),
+    "sfq-readjust": ("sfq", {"readjust": True}),
+    "sfs": ("sfs", {}),
+}
 
 
 @dataclass
@@ -50,52 +56,65 @@ class Fig1Result:
     tasks: dict[str, Task] = field(default_factory=dict)
 
 
+def _probe_t1_t2_tags(machine, tasks) -> tuple[float, float]:
+    """Start tags of T1/T2 the moment thread 3 arrives."""
+    return (tasks["T1"].sched.get("S", 0.0), tasks["T2"].sched.get("S", 0.0))
+
+
+def _probe_t3_tag(machine, tasks) -> float:
+    """T3's start tag once its arrival has been processed."""
+    return tasks["T3"].sched.get("S", 0.0)
+
+
+def scenario(
+    scheduler_name: str = "sfq", horizon_quanta: int = 2500
+) -> Scenario:
+    """The Example 1 population as a declarative scenario."""
+    registry_name, params = resolve_scheduler(_SCHEDULERS, scheduler_name)
+    arrival_time = ARRIVAL_QUANTA * QUANTUM
+    return Scenario(
+        name=f"fig1-{scheduler_name}",
+        scheduler=registry_name,
+        scheduler_params=params,
+        cpus=2,
+        quantum=QUANTUM,
+        duration=horizon_quanta * QUANTUM,
+        tasks=(
+            task("T1", 1),
+            task("T2", 10),
+            task("T3", 1, at=arrival_time),
+        ),
+        probes=(
+            Probe(arrival_time, _probe_t1_t2_tags),
+            Probe(arrival_time + QUANTUM, _probe_t3_tag),
+        ),
+    )
+
+
 def run(
     scheduler_name: str = "sfq",
     horizon_quanta: int = 2500,
     sample_step: float = 0.05,
 ) -> Fig1Result:
     """Run Example 1 under ``sfq``, ``sfq-readjust`` or ``sfs``."""
-    if scheduler_name == "sfq":
-        scheduler = StartTimeFairScheduler(readjust=False)
-    elif scheduler_name == "sfq-readjust":
-        scheduler = StartTimeFairScheduler(readjust=True)
-    elif scheduler_name == "sfs":
-        scheduler = SurplusFairScheduler()
-    else:
-        raise ValueError(f"unsupported scheduler {scheduler_name!r}")
-
-    machine = make_machine(scheduler, cpus=2, quantum=QUANTUM)
+    spec = scenario(scheduler_name, horizon_quanta)
+    result = run_scenario(spec)
     arrival_time = ARRIVAL_QUANTA * QUANTUM
-    horizon = horizon_quanta * QUANTUM
-
-    t1 = add_inf(machine, 1, "T1")
-    t2 = add_inf(machine, 10, "T2")
-    t3 = add_inf(machine, 1, "T3", at=arrival_time)
-
-    # Sample the tags the moment thread 3 arrives.
-    machine.run_until(arrival_time)
-    s1 = t1.sched.get("S", 0.0)
-    s2 = t2.sched.get("S", 0.0)
-    machine.run_until(arrival_time + QUANTUM)  # let the arrival process
-    s3 = t3.sched.get("S", 0.0)
-    machine.run_until(horizon)
-
+    horizon = spec.duration
+    (s1, s2), s3 = result.probes
     times = regular_times(0.0, horizon, sample_step)
     series = {
-        task.name: cumulative_series(task, times)
-        for task in (t1, t2, t3)
+        name: result.series(name, times) for name in ("T1", "T2", "T3")
     }
-    starvation = longest_starvation(
-        t1, arrival_time, horizon, resolution=QUANTUM * 10
-    )
     return Fig1Result(
-        scheduler=scheduler.name,
+        scheduler=result.scheduler.name,
         tags_at_arrival=(s1, s2),
         s3_initial=s3,
-        t1_starvation=starvation,
+        t1_starvation=result.starvation(
+            "T1", arrival_time, horizon, resolution=QUANTUM * 10
+        ),
         series=series,
-        tasks={t.name: t for t in (t1, t2, t3)},
+        tasks=dict(result.tasks),
     )
 
 

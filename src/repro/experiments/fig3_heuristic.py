@@ -6,7 +6,7 @@ quad-processor system, examining the first 20 threads in each queue
 provides sufficient accuracy (> 99%) even when the number of runnable
 threads is as large as 400."*
 
-``run()`` drives a quad-processor machine with N compute-bound threads
+``run()`` drives a quad-processor scenario with N compute-bound threads
 of randomized weights under :class:`HeuristicSurplusFairScheduler` with
 ``track_accuracy=True`` and sweeps the scan depth k; accuracy is the
 fraction of scheduling decisions whose pick had the true minimum
@@ -19,12 +19,9 @@ import random
 from dataclasses import dataclass, field
 
 from repro.analysis.charts import line_chart
-from repro.core.sfs_heuristic import HeuristicSurplusFairScheduler
-from repro.experiments.common import make_machine
-from repro.sim.task import Task
-from repro.workloads.cpu_bound import Infinite
+from repro.scenario import Scenario, run_scenario, task
 
-__all__ = ["Fig3Result", "run", "render", "measure_accuracy"]
+__all__ = ["Fig3Result", "run", "render", "scenario", "measure_accuracy"]
 
 CPUS = 4
 #: a short quantum generates many scheduling decisions quickly
@@ -41,6 +38,38 @@ class Fig3Result:
     decisions: dict[tuple[int, int], int] = field(default_factory=dict)
 
 
+def scenario(
+    n_threads: int,
+    scan_depth: int,
+    decisions: int = 1500,
+    refresh_every: int = 50,
+    seed: int = 42,
+) -> Scenario:
+    """One (N, k) cell of Fig. 3 as a declarative scenario."""
+    rng = random.Random(seed)
+    tasks = tuple(
+        task(f"w{i}", weight=rng.choice([1, 1, 1, 2, 2, 4, 5, 8, 10, 20]))
+        for i in range(n_threads)
+    )
+    # decisions/quantum: each quantum expiry triggers one pick per CPU.
+    horizon = decisions * QUANTUM / CPUS + 1.0
+    return Scenario(
+        name=f"fig3-n{n_threads}-k{scan_depth}",
+        scheduler="sfs-heuristic",
+        scheduler_params={
+            "scan_depth": scan_depth,
+            "refresh_every": refresh_every,
+            "track_accuracy": True,
+        },
+        cpus=CPUS,
+        quantum=QUANTUM,
+        duration=horizon,
+        tasks=tasks,
+        sample_service=False,
+        record_events=False,
+    )
+
+
 def measure_accuracy(
     n_threads: int,
     scan_depth: int,
@@ -49,21 +78,10 @@ def measure_accuracy(
     seed: int = 42,
 ) -> tuple[float, int]:
     """Accuracy of one (N, k) cell; returns (accuracy, tracked count)."""
-    rng = random.Random(seed)
-    scheduler = HeuristicSurplusFairScheduler(
-        scan_depth=scan_depth,
-        refresh_every=refresh_every,
-        track_accuracy=True,
+    result = run_scenario(
+        scenario(n_threads, scan_depth, decisions, refresh_every, seed)
     )
-    machine = make_machine(scheduler, cpus=CPUS, quantum=QUANTUM,
-                           sample_service=False, record_events=False)
-    for i in range(n_threads):
-        weight = rng.choice([1, 1, 1, 2, 2, 4, 5, 8, 10, 20])
-        machine.add_task(Task(Infinite(), weight=weight, name=f"w{i}"))
-    # decisions/quantum: each quantum expiry triggers one pick per CPU.
-    horizon = decisions * QUANTUM / CPUS + 1.0
-    machine.run_until(horizon)
-    return scheduler.accuracy, scheduler.tracked_decisions
+    return result.scheduler.accuracy, result.scheduler.tracked_decisions
 
 
 def run(

@@ -23,20 +23,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.charts import line_chart
-from repro.analysis.fairness import longest_starvation
-from repro.analysis.timeseries import cumulative_series, regular_times
-from repro.core.sfs import SurplusFairScheduler
-from repro.experiments.common import add_inf, make_machine
-from repro.schedulers.sfq import StartTimeFairScheduler
-from repro.sim.metrics import share_between
+from repro.experiments.common import resolve_scheduler
+from repro.scenario import Kill, Scenario, run_scenario, task
 from repro.sim.task import Task
 from repro.workloads.cpu_bound import INF_ITER_RATE
 
-__all__ = ["Fig4Result", "run", "render"]
+__all__ = ["Fig4Result", "run", "render", "scenario"]
 
 T3_ARRIVAL = 15.0
 T2_STOP = 30.0
 HORIZON = 40.0
+
+#: experiment name -> (registry name, constructor params)
+_SCHEDULERS = {
+    "sfq": ("sfq", {"readjust": False}),
+    "sfq-readjust": ("sfq", {"readjust": True}),
+    "sfs": ("sfs", {}),
+}
 
 
 @dataclass
@@ -56,39 +59,36 @@ class Fig4Result:
     tasks: dict[str, Task] = field(default_factory=dict)
 
 
+def scenario(scheduler_name: str = "sfq") -> Scenario:
+    """The Fig. 4 population as a declarative scenario."""
+    registry_name, params = resolve_scheduler(_SCHEDULERS, scheduler_name)
+    return Scenario(
+        name=f"fig4-{scheduler_name}",
+        scheduler=registry_name,
+        scheduler_params=params,
+        duration=HORIZON,
+        tasks=(
+            task("T1", 1),
+            task("T2", 10),
+            task("T3", 1, at=T3_ARRIVAL),
+        ),
+        events=(Kill("T2", at=T2_STOP),),
+    )
+
+
 def run(scheduler_name: str = "sfq", sample_step: float = 0.5) -> Fig4Result:
     """Run the Fig. 4 scenario under ``sfq``/``sfq-readjust``/``sfs``."""
-    if scheduler_name == "sfq":
-        scheduler = StartTimeFairScheduler(readjust=False)
-    elif scheduler_name == "sfq-readjust":
-        scheduler = StartTimeFairScheduler(readjust=True)
-    elif scheduler_name == "sfs":
-        scheduler = SurplusFairScheduler()
-    else:
-        raise ValueError(f"unsupported scheduler {scheduler_name!r}")
-
-    machine = make_machine(scheduler)
-    t1 = add_inf(machine, 1, "T1")
-    t2 = add_inf(machine, 10, "T2")
-    t3 = add_inf(machine, 1, "T3", at=T3_ARRIVAL)
-    machine.kill_task_at(t2, T2_STOP)
-    machine.run_until(HORIZON)
-
-    cpus = machine.num_cpus
-    tasks = (t1, t2, t3)
-    times = regular_times(0.0, HORIZON, sample_step)
-    series = {
-        task.name: cumulative_series(task, times, scale=INF_ITER_RATE)
-        for task in tasks
-    }
+    result = run_scenario(scenario(scheduler_name))
+    names = ("T1", "T2", "T3")
+    series = result.sampled_series(names, sample_step, scale=INF_ITER_RATE)
     return Fig4Result(
-        scheduler=scheduler.name,
-        phase1={t.name: share_between(t, 0.0, T3_ARRIVAL, cpus) for t in tasks},
-        phase2={t.name: share_between(t, T3_ARRIVAL, T2_STOP, cpus) for t in tasks},
-        phase3={t.name: share_between(t, T2_STOP, HORIZON, cpus) for t in tasks},
-        t1_starvation=longest_starvation(t1, T3_ARRIVAL, T2_STOP),
+        scheduler=result.scheduler.name,
+        phase1=result.shares(names, 0.0, T3_ARRIVAL),
+        phase2=result.shares(names, T3_ARRIVAL, T2_STOP),
+        phase3=result.shares(names, T2_STOP, HORIZON),
+        t1_starvation=result.starvation("T1", T3_ARRIVAL, T2_STOP),
         series=series,
-        tasks={t.name: t for t in tasks},
+        tasks=dict(result.tasks),
     )
 
 

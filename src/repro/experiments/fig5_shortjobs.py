@@ -35,21 +35,26 @@ from dataclasses import dataclass, field
 
 from repro.analysis.charts import line_chart
 from repro.analysis.timeseries import regular_times
-from repro.core.sfs import SurplusFairScheduler
-from repro.core.sfs_heuristic import HeuristicSurplusFairScheduler
-from repro.experiments.common import add_inf, add_inf_group, make_machine
-from repro.schedulers.gms_reference import GMSReferenceScheduler
-from repro.schedulers.sfq import StartTimeFairScheduler
-from repro.sim.metrics import service_at
+from repro.experiments.common import resolve_scheduler
+from repro.scenario import Scenario, ShortJobs, group, run_scenario, task
 from repro.workloads.cpu_bound import INF_ITER_RATE
-from repro.workloads.shortjobs import ShortJobFeeder
 
-__all__ = ["Fig5Result", "run", "render", "IDEAL_SHARES"]
+__all__ = ["Fig5Result", "run", "render", "scenario", "IDEAL_SHARES"]
 
 HORIZON = 30.0
 
 #: group weights 20:20:5 normalized — the paper's requested proportions
 IDEAL_SHARES = {"T1": 20 / 45, "T2-21": 20 / 45, "T_short": 5 / 45}
+
+#: experiment name -> (registry name, constructor params); note that the
+#: paper's SFQ baseline runs *with* readjustment here (the short-jobs
+#: pathology is distinct from the infeasible-weights one)
+_SCHEDULERS = {
+    "sfq": ("sfq", {"readjust": True}),
+    "sfs": ("sfs", {}),
+    "sfs-heuristic": ("sfs-heuristic", {}),
+    "gms-reference": ("gms-reference", {}),
+}
 
 
 @dataclass
@@ -66,6 +71,22 @@ class Fig5Result:
     series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
 
 
+def scenario(
+    scheduler_name: str = "sfq", quantum_jitter: float = 0.0
+) -> Scenario:
+    """The Fig. 5 population as a declarative scenario."""
+    registry_name, params = resolve_scheduler(_SCHEDULERS, scheduler_name)
+    return Scenario(
+        name=f"fig5-{scheduler_name}",
+        scheduler=registry_name,
+        scheduler_params=params,
+        duration=HORIZON,
+        quantum_jitter=quantum_jitter,
+        tasks=(task("T1", 20), *group(20, 1, "T")),
+        drivers=(ShortJobs(name="T_short", weight=5, job_cpu=0.3),),
+    )
+
+
 def run(
     scheduler_name: str = "sfq",
     sample_step: float = 0.5,
@@ -77,39 +98,25 @@ def run(
     ``gms-reference``; ``quantum_jitter`` adds testbed-like timer noise
     (see module docstring).
     """
-    if scheduler_name == "sfq":
-        scheduler = StartTimeFairScheduler(readjust=True)
-    elif scheduler_name == "sfs":
-        scheduler = SurplusFairScheduler()
-    elif scheduler_name == "sfs-heuristic":
-        scheduler = HeuristicSurplusFairScheduler()
-    elif scheduler_name == "gms-reference":
-        scheduler = GMSReferenceScheduler()
-    else:
-        raise ValueError(f"unsupported scheduler {scheduler_name!r}")
+    result = run_scenario(scenario(scheduler_name, quantum_jitter))
+    feeder = result.driver("T_short")
+    background = [f"T-{i + 1}" for i in range(20)]
 
-    machine = make_machine(scheduler, quantum_jitter=quantum_jitter)
-    t1 = add_inf(machine, 20, "T1")
-    background = add_inf_group(machine, 20, 1, "T")
-    feeder = ShortJobFeeder(machine, weight=5, job_cpu=0.3)
-    machine.run_until(HORIZON)
-
-    capacity = machine.total_capacity(0.0, HORIZON)
-    bg_service = sum(t.service for t in background)
-    short_service = feeder.total_service()
+    capacity = result.capacity()
     group_service = {
-        "T1": t1.service,
-        "T2-21": bg_service,
-        "T_short": short_service,
+        "T1": result.service("T1"),
+        "T2-21": sum(result.service(n) for n in background),
+        "T_short": feeder.total_service(),
     }
     group_share = {k: v / capacity for k, v in group_service.items()}
 
     times = regular_times(0.0, HORIZON, sample_step)
+    bg_curves = [result.series(n, times) for n in background]
     series = {
-        "T1": [(t, service_at(t1, t) * INF_ITER_RATE) for t in times],
+        "T1": result.series("T1", times, scale=INF_ITER_RATE),
         "T2-21": [
-            (t, sum(service_at(bg, t) for bg in background) * INF_ITER_RATE)
-            for t in times
+            (t, sum(curve[i][1] for curve in bg_curves) * INF_ITER_RATE)
+            for i, t in enumerate(times)
         ],
     }
     short_points = feeder.service_series()
@@ -118,7 +125,7 @@ def run(
         for t, s in _downsample(short_points, times)
     ]
     return Fig5Result(
-        scheduler=scheduler.name,
+        scheduler=result.scheduler.name,
         group_service=group_service,
         group_share=group_share,
         short_jobs_completed=feeder.completed,

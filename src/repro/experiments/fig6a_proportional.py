@@ -8,7 +8,8 @@ background dhrystone processes were necessary to ensure that all
 weights were feasible at all times)."*
 
 Expected: the two foreground processes' loop rates stand in the ratio
-of their weights under SFS.
+of their weights under SFS. ``run()`` accepts any registry scheduler
+name, so the same scenario doubles as a policy comparison.
 """
 
 from __future__ import annotations
@@ -16,12 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.charts import bar_chart
-from repro.core.sfs import SurplusFairScheduler
-from repro.experiments.common import add_inf, add_inf_group, make_machine
-from repro.schedulers.registry import make_scheduler
+from repro.scenario import Scenario, group, run_scenario, task
 from repro.workloads.cpu_bound import DHRYSTONE_ITER_RATE
 
-__all__ = ["Fig6aResult", "run", "render", "WEIGHT_PAIRS"]
+__all__ = ["Fig6aResult", "run", "render", "scenario", "WEIGHT_PAIRS"]
 
 WEIGHT_PAIRS = ((1, 1), (1, 2), (1, 4), (1, 7))
 HORIZON = 90.0
@@ -48,6 +47,28 @@ class Fig6aResult:
         return r2 / r1 if r1 > 0 else float("inf")
 
 
+def scenario(
+    scheduler_name: str,
+    w1: int,
+    w2: int,
+    duration: float = HORIZON,
+    quantum_jitter: float = JITTER,
+) -> Scenario:
+    """One weight assignment of Fig. 6(a) as a declarative scenario."""
+    return Scenario(
+        name=f"fig6a-{scheduler_name}-{w1}:{w2}",
+        scheduler=scheduler_name,
+        duration=duration,
+        quantum_jitter=quantum_jitter,
+        record_events=False,
+        tasks=(
+            *group(BACKGROUND, 1, "bg"),
+            task("D1", w1),
+            task("D2", w2),
+        ),
+    )
+
+
 def run(
     scheduler_name: str = "sfs",
     weight_pairs: tuple[tuple[int, int], ...] = WEIGHT_PAIRS,
@@ -56,21 +77,17 @@ def run(
     quantum_jitter: float = JITTER,
 ) -> Fig6aResult:
     """Measure foreground dhrystone loop rates for each weight pair."""
-    from repro.sim.metrics import service_between
-
     result = Fig6aResult(scheduler=scheduler_name)
     window = horizon - warmup
     for w1, w2 in weight_pairs:
-        scheduler = make_scheduler(scheduler_name)
-        machine = make_machine(scheduler, record_events=False,
-                               quantum_jitter=quantum_jitter)
-        add_inf_group(machine, BACKGROUND, 1, "bg")
-        d1 = add_inf(machine, w1, "D1")
-        d2 = add_inf(machine, w2, "D2")
-        machine.run_until(horizon)
+        res = run_scenario(
+            scenario(scheduler_name, w1, w2, horizon, quantum_jitter)
+        )
         result.rates[(w1, w2)] = (
-            service_between(d1, warmup, horizon) / window * DHRYSTONE_ITER_RATE,
-            service_between(d2, warmup, horizon) / window * DHRYSTONE_ITER_RATE,
+            res.service_between("D1", warmup, horizon) / window
+            * DHRYSTONE_ITER_RATE,
+            res.service_between("D2", warmup, horizon) / window
+            * DHRYSTONE_ITER_RATE,
         )
     return result
 

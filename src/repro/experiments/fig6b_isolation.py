@@ -15,18 +15,13 @@ compilations increase; under Linux time sharing it collapses roughly as
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
 from repro.analysis.charts import line_chart
-from repro.core.sfs import SurplusFairScheduler
-from repro.experiments.common import make_machine
-from repro.schedulers.linux_ts import LinuxTimeSharingScheduler
-from repro.sim.task import Task
-from repro.workloads.gcc_build import CompileJob
-from repro.workloads.mpeg import MpegDecoder
+from repro.experiments.common import resolve_scheduler
+from repro.scenario import Compile, Mpeg, Scenario, run_scenario, task
 
-__all__ = ["Fig6bResult", "run", "render"]
+__all__ = ["Fig6bResult", "run", "render", "scenario"]
 
 #: decoder parameters: ~30 fps clip, 27 ms/frame decode cost
 FRAME_COST = 0.027
@@ -34,6 +29,9 @@ TARGET_FPS = 30.0
 DECODER_WEIGHT = 100.0
 HORIZON = 30.0
 WARMUP = 2.0
+
+#: experiment name -> registry name (restricted to the paper's pair)
+_SCHEDULERS = {"sfs": "sfs", "linux-ts": "linux-ts"}
 
 
 @dataclass
@@ -44,25 +42,31 @@ class Fig6bResult:
     curves: dict[str, list[tuple[int, float]]] = field(default_factory=dict)
 
 
-def _run_one(scheduler_name: str, n_compiles: int, seed: int) -> float:
-    if scheduler_name == "sfs":
-        scheduler = SurplusFairScheduler()
-    elif scheduler_name == "linux-ts":
-        scheduler = LinuxTimeSharingScheduler()
-    else:
-        raise ValueError(f"unsupported scheduler {scheduler_name!r}")
-    machine = make_machine(scheduler, record_events=False)
-    decoder = MpegDecoder(frame_cost=FRAME_COST, target_fps=TARGET_FPS)
-    machine.add_task(
-        Task(decoder, weight=DECODER_WEIGHT, name="mpeg_play")
+def scenario(scheduler_name: str, n_compiles: int, seed: int) -> Scenario:
+    """Decoder + ``n`` compile jobs as a declarative scenario."""
+    registry_name = resolve_scheduler(_SCHEDULERS, scheduler_name)
+    return Scenario(
+        name=f"fig6b-{scheduler_name}-n{n_compiles}",
+        scheduler=registry_name,
+        duration=HORIZON,
+        record_events=False,
+        tasks=(
+            task(
+                "mpeg_play",
+                DECODER_WEIGHT,
+                Mpeg(frame_cost=FRAME_COST, target_fps=TARGET_FPS),
+            ),
+            *(
+                task(f"gcc-{i + 1}", 1, Compile(seed=seed * 1000 + i))
+                for i in range(n_compiles)
+            ),
+        ),
     )
-    for i in range(n_compiles):
-        rng = random.Random(seed * 1000 + i)
-        machine.add_task(
-            Task(CompileJob(rng), weight=1, name=f"gcc-{i + 1}")
-        )
-    machine.run_until(HORIZON)
-    return decoder.achieved_fps(WARMUP, HORIZON)
+
+
+def _run_one(scheduler_name: str, n_compiles: int, seed: int) -> float:
+    result = run_scenario(scenario(scheduler_name, n_compiles, seed))
+    return result.behavior("mpeg_play").achieved_fps(WARMUP, HORIZON)
 
 
 def run(

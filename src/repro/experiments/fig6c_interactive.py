@@ -14,22 +14,20 @@ of disksim processes.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
 from repro.analysis.charts import line_chart
-from repro.core.sfs import SurplusFairScheduler
-from repro.experiments.common import make_machine
-from repro.schedulers.linux_ts import LinuxTimeSharingScheduler
-from repro.sim.task import Task
-from repro.workloads.disksim import DisksimBatch
-from repro.workloads.interactive import Interactive
+from repro.experiments.common import resolve_scheduler
+from repro.scenario import Disksim, InteractiveLoop, Scenario, run_scenario, task
 
-__all__ = ["Fig6cResult", "run", "render"]
+__all__ = ["Fig6cResult", "run", "render", "scenario"]
 
 THINK_TIME = 0.5
 BURST = 0.005
 HORIZON = 60.0
+
+#: experiment name -> registry name (restricted to the paper's pair)
+_SCHEDULERS = {"sfs": "sfs", "linux-ts": "linux-ts"}
 
 
 @dataclass
@@ -42,25 +40,32 @@ class Fig6cResult:
     samples: dict[str, dict[int, list[float]]] = field(default_factory=dict)
 
 
-def _run_one(scheduler_name: str, n_disksim: int, seed: int) -> list[float]:
-    if scheduler_name == "sfs":
-        scheduler = SurplusFairScheduler()
-    elif scheduler_name == "linux-ts":
-        scheduler = LinuxTimeSharingScheduler()
-    else:
-        raise ValueError(f"unsupported scheduler {scheduler_name!r}")
-    machine = make_machine(scheduler, record_events=False,
-                           sample_service=False)
-    interact = Interactive(
-        think_time=THINK_TIME, burst=BURST, rng=random.Random(seed)
+def scenario(scheduler_name: str, n_disksim: int, seed: int) -> Scenario:
+    """Interact + ``n`` disksim processes as a declarative scenario."""
+    registry_name = resolve_scheduler(_SCHEDULERS, scheduler_name)
+    return Scenario(
+        name=f"fig6c-{scheduler_name}-n{n_disksim}",
+        scheduler=registry_name,
+        duration=HORIZON,
+        record_events=False,
+        sample_service=False,
+        tasks=(
+            task(
+                "Interact",
+                1,
+                InteractiveLoop(think_time=THINK_TIME, burst=BURST, seed=seed),
+            ),
+            *(
+                task(f"disksim-{i + 1}", 1, Disksim())
+                for i in range(n_disksim)
+            ),
+        ),
     )
-    machine.add_task(Task(interact, weight=1, name="Interact"))
-    for i in range(n_disksim):
-        machine.add_task(
-            Task(DisksimBatch(), weight=1, name=f"disksim-{i + 1}")
-        )
-    machine.run_until(HORIZON)
-    return interact.response_times
+
+
+def _run_one(scheduler_name: str, n_disksim: int, seed: int) -> list[float]:
+    result = run_scenario(scenario(scheduler_name, n_disksim, seed))
+    return result.behavior("Interact").response_times
 
 
 def run(

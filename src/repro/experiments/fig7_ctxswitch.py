@@ -8,9 +8,11 @@ Interestingly, the Linux time sharing scheduler also imposes an
 overhead that grows with the number of processes."*
 
 Runs the lmbench lat_ctx ring (0 KB working sets) for a sweep of ring
-sizes under both schedulers. Expected shape: both curves grow with the
-process count; SFS sits a few microseconds above time sharing; both
-stay within the paper's 0-10 us band at 50 processes.
+sizes under both schedulers — each measurement is one
+:func:`repro.experiments.table1_lmbench.scenario` cell. Expected
+shape: both curves grow with the process count; SFS sits a few
+microseconds above time sharing; both stay within the paper's 0-10 us
+band at 50 processes.
 """
 
 from __future__ import annotations
@@ -18,9 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.charts import line_chart
-from repro.experiments.table1_lmbench import measure_ctx
+from repro.experiments.table1_lmbench import measure_ctx, scenario
 
-__all__ = ["Fig7Result", "run", "render"]
+__all__ = ["Fig7Result", "run", "render", "scenario"]
 
 RING_SIZES = (2, 3, 5, 8, 12, 16, 24, 32, 40, 50)
 

@@ -13,15 +13,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.sfs import SurplusFairScheduler
-from repro.experiments.common import add_inf, add_inf_group, make_machine
-from repro.schedulers.gms_reference import GMSReferenceScheduler
-from repro.workloads.shortjobs import ShortJobFeeder
+from repro.experiments.common import resolve_scheduler
+from repro.scenario import Scenario, ShortJobs, group, run_scenario, task
 
-__all__ = ["SensitivityResult", "run", "render", "IDEAL_SHORT_SHARE"]
+__all__ = ["SensitivityResult", "run", "render", "scenario", "IDEAL_SHORT_SHARE"]
 
 HORIZON = 30.0
 IDEAL_SHORT_SHARE = 5 / 45
+
+#: experiment name -> registry name (the study's pair)
+_SCHEDULERS = {"sfs": "sfs", "gms-reference": "gms-reference"}
 
 
 @dataclass
@@ -40,25 +41,26 @@ class SensitivityResult:
         return sum(values) / len(values)
 
 
-def _one(scheduler_name: str, jitter: float, seed: int) -> float:
-    if scheduler_name == "sfs":
-        scheduler = SurplusFairScheduler()
-    elif scheduler_name == "gms-reference":
-        scheduler = GMSReferenceScheduler()
-    else:
-        raise ValueError(f"unsupported scheduler {scheduler_name!r}")
-    machine = make_machine(
-        scheduler,
+def scenario(scheduler_name: str, jitter: float, seed: int) -> Scenario:
+    """One (scheduler, jitter, seed) cell as a declarative scenario."""
+    registry_name = resolve_scheduler(_SCHEDULERS, scheduler_name)
+    return Scenario(
+        name=f"sensitivity-{scheduler_name}-j{jitter:g}-s{seed}",
+        scheduler=registry_name,
+        duration=HORIZON,
         quantum_jitter=jitter,
         jitter_seed=seed,
         record_events=False,
         sample_service=False,
+        tasks=(task("T1", 20), *group(20, 1, "T")),
+        drivers=(ShortJobs(name="T_short", weight=5, job_cpu=0.3),),
     )
-    add_inf(machine, 20, "T1")
-    add_inf_group(machine, 20, 1, "T")
-    feeder = ShortJobFeeder(machine, weight=5, job_cpu=0.3)
-    machine.run_until(HORIZON)
-    return feeder.total_service() / machine.total_capacity(0.0, HORIZON)
+
+
+def _one(scheduler_name: str, jitter: float, seed: int) -> float:
+    result = run_scenario(scenario(scheduler_name, jitter, seed))
+    feeder = result.driver("T_short")
+    return feeder.total_service() / result.capacity()
 
 
 def run(

@@ -27,18 +27,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.tables import format_seconds, render_table
-from repro.core.sfs import SurplusFairScheduler
-from repro.experiments.common import make_machine
-from repro.schedulers.linux_ts import LinuxTimeSharingScheduler
+from repro.experiments.common import resolve_scheduler
+from repro.scenario import LatCtxRing, Scenario, run_scenario
 from repro.sim.costs import (
     EXEC_OVERHEAD,
     FORK_OVERHEAD,
-    LMBENCH_COST,
     SYSCALL_OVERHEAD,
 )
-from repro.workloads.lmbench import TokenRing
 
-__all__ = ["Table1Result", "run", "render", "CTX_CONFIGS", "PAPER_VALUES"]
+__all__ = [
+    "Table1Result",
+    "run",
+    "render",
+    "scenario",
+    "measure_ctx",
+    "CTX_CONFIGS",
+    "PAPER_VALUES",
+]
 
 #: (processes, footprint KB) rows of Table 1
 CTX_CONFIGS = ((2, 0.0), (8, 16.0), (16, 64.0))
@@ -53,6 +58,9 @@ PAPER_VALUES = {
     "Context switch (16 proc/64KB)": (178e-6, 179e-6),
 }
 
+#: experiment name -> registry name (restricted to the paper's pair)
+_SCHEDULERS = {"sfs": "sfs", "linux-ts": "linux-ts"}
+
 
 @dataclass
 class Table1Result:
@@ -61,23 +69,37 @@ class Table1Result:
     rows: dict[str, tuple[float, float]] = field(default_factory=dict)
 
 
+def scenario(
+    scheduler_name: str, nprocs: int, kb: float, passes: int = 2000
+) -> Scenario:
+    """One lat_ctx measurement as a declarative scenario.
+
+    The ring terminates itself after ``passes`` token passes, so the
+    scenario has no fixed duration; the lmbench cost model charges
+    context-switch + decision costs exactly as the real benchmark
+    observes them.
+    """
+    registry_name = resolve_scheduler(_SCHEDULERS, scheduler_name)
+    return Scenario(
+        name=f"lat_ctx-{scheduler_name}-{nprocs}proc-{int(kb)}KB",
+        scheduler=registry_name,
+        cost_model="lmbench",
+        duration=None,
+        sample_service=False,
+        record_events=False,
+        drivers=(
+            LatCtxRing(
+                name="lat_ctx", nprocs=nprocs, passes=passes, footprint_kb=kb
+            ),
+        ),
+    )
+
+
 def measure_ctx(scheduler_name: str, nprocs: int, kb: float,
                 passes: int = 2000) -> float:
     """Run lat_ctx once and return the per-switch latency in seconds."""
-    if scheduler_name == "sfs":
-        scheduler = SurplusFairScheduler()
-    elif scheduler_name == "linux-ts":
-        scheduler = LinuxTimeSharingScheduler()
-    else:
-        raise ValueError(f"unsupported scheduler {scheduler_name!r}")
-    machine = make_machine(
-        scheduler,
-        cost_model=LMBENCH_COST,
-        sample_service=False,
-        record_events=False,
-    )
-    ring = TokenRing(machine, nprocs=nprocs, passes=passes, footprint_kb=kb)
-    return ring.run()
+    result = run_scenario(scenario(scheduler_name, nprocs, kb, passes))
+    return result.driver("lat_ctx").switch_time()
 
 
 def run(passes: int = 2000) -> Table1Result:

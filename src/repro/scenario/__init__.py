@@ -1,0 +1,76 @@
+"""Declarative scenario layer: one ``Scenario -> SimulationResult``
+pipeline for every experiment, sweep and workload.
+
+A :class:`~repro.scenario.spec.Scenario` is plain data — machine shape,
+scheduler by registry name, a task population (arrivals, departures,
+weight changes), a duration and the metrics to collect. Feeding it to
+:func:`~repro.scenario.runner.run_scenario` yields a
+:class:`~repro.scenario.result.SimulationResult` that wraps per-task
+CPU shares, fairness/lag metrics from :mod:`repro.analysis` and raw
+trace access. :class:`~repro.scenario.sweep.Sweep` /
+:func:`~repro.scenario.sweep.run_sweep` execute cartesian
+policy x machine grids across a process pool with deterministic result
+ordering.
+
+Every figure of the paper's evaluation (§4) is defined this way in
+:mod:`repro.experiments`; a new workload is a ~30-line scenario, not a
+new module::
+
+    from repro.scenario import Scenario, task, group, run_scenario
+
+    scn = Scenario(
+        name="my-workload",
+        scheduler="sfs",
+        cpus=4,
+        duration=30.0,
+        tasks=(task("hog", weight=10), *group(8, 1, "bg")),
+    )
+    result = run_scenario(scn)
+    print(result.shares())
+"""
+
+from repro.scenario.result import SimulationResult, summarize
+from repro.scenario.runner import run_scenario
+from repro.scenario.spec import (
+    Compile,
+    Compute,
+    Disksim,
+    Inf,
+    InteractiveLoop,
+    Kill,
+    LatCtxRing,
+    Mpeg,
+    Probe,
+    Scenario,
+    SetWeight,
+    ShortJobs,
+    TaskSpec,
+    group,
+    task,
+)
+from repro.scenario.sweep import Sweep, SweepCell, run_sweep, sweep_scenarios
+
+__all__ = [
+    "Compile",
+    "Compute",
+    "Disksim",
+    "Inf",
+    "InteractiveLoop",
+    "Kill",
+    "LatCtxRing",
+    "Mpeg",
+    "Probe",
+    "Scenario",
+    "SetWeight",
+    "ShortJobs",
+    "SimulationResult",
+    "Sweep",
+    "SweepCell",
+    "TaskSpec",
+    "group",
+    "run_scenario",
+    "run_sweep",
+    "summarize",
+    "sweep_scenarios",
+    "task",
+]

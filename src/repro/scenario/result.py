@@ -1,0 +1,239 @@
+"""The unified result object returned by ``run_scenario``.
+
+:class:`SimulationResult` wraps the finished machine and exposes the
+questions every figure of the paper asks — per-task service and machine
+shares, cumulative-service curves, starvation detection, Jain's index,
+and the GMS-surplus / lag metrics of :mod:`repro.analysis` — plus raw
+access to the tasks, behaviours, drivers and trace for anything
+bespoke.
+
+:func:`summarize` reduces a result to a flat, picklable dict of canned
+metrics; it is what sweep workers ship back across the process pool.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.fairness import jains_index, longest_starvation
+from repro.analysis.timeseries import cumulative_series, regular_times
+from repro.sim.machine import Machine
+from repro.sim.metrics import service_between, share_between
+from repro.sim.task import Task
+from repro.sim.tracing import Trace
+
+__all__ = ["SimulationResult", "summarize", "METRICS"]
+
+
+class SimulationResult:
+    """Everything a finished scenario run can tell you."""
+
+    def __init__(
+        self,
+        scenario: Any,
+        machine: Machine,
+        tasks: dict[str, Task],
+        drivers: dict[str, Any],
+        probes: list[Any],
+    ) -> None:
+        self.scenario = scenario
+        self.machine = machine
+        #: declared tasks by spec name (driver-spawned tasks excluded)
+        self.tasks = tasks
+        #: driver objects (ShortJobFeeder / TokenRing) by spec name
+        self.drivers = drivers
+        #: probe return values, in scenario probe order
+        self.probes = probes
+        #: canned metrics requested via ``scenario.metrics``
+        self.metrics: dict[str, Any] = {}
+
+    # -- raw access ----------------------------------------------------
+
+    @property
+    def scheduler(self):
+        """The scheduler instance that drove the run."""
+        return self.machine.scheduler
+
+    @property
+    def trace(self) -> Trace:
+        """The machine's event/run-interval trace."""
+        return self.machine.trace
+
+    @property
+    def now(self) -> float:
+        """Simulation time at which the run stopped."""
+        return self.machine.now
+
+    @property
+    def duration(self) -> float:
+        """The measured window: scenario duration, or the stop time."""
+        if self.scenario.duration is not None:
+            return self.scenario.duration
+        return self.machine.now
+
+    def task(self, name: str) -> Task:
+        """The :class:`Task` declared under ``name``."""
+        return self.tasks[name]
+
+    def behavior(self, name: str) -> Any:
+        """The behaviour object of task ``name`` (post-run state)."""
+        return self.tasks[name].behavior
+
+    def driver(self, name: str) -> Any:
+        """The driver object (feeder/ring) declared under ``name``."""
+        return self.drivers[name]
+
+    def sched_tag(self, name: str, key: str, default: float = 0.0) -> float:
+        """A scheduler-private per-task value (e.g. SFQ's start tag S)."""
+        return self.tasks[name].sched.get(key, default)
+
+    # -- service and shares --------------------------------------------
+
+    def service(self, name: str) -> float:
+        """Total CPU service of task ``name`` over the whole run."""
+        return self.tasks[name].service
+
+    def service_between(self, name: str, t0: float, t1: float) -> float:
+        """CPU service of task ``name`` over [t0, t1)."""
+        return service_between(self.tasks[name], t0, t1)
+
+    def share(self, name: str, t0: float = 0.0, t1: float | None = None) -> float:
+        """Fraction of machine capacity task ``name`` got over [t0, t1)."""
+        end = self.duration if t1 is None else t1
+        return share_between(self.tasks[name], t0, end, self.machine.num_cpus)
+
+    def shares(
+        self,
+        names: Iterable[str] | None = None,
+        t0: float = 0.0,
+        t1: float | None = None,
+    ) -> dict[str, float]:
+        """Machine share per task name over [t0, t1)."""
+        picked = list(names) if names is not None else list(self.tasks)
+        return {n: self.share(n, t0, t1) for n in picked}
+
+    def group_service(self, prefix: str) -> float:
+        """Summed service of every task whose name starts with ``prefix``."""
+        return sum(
+            t.service for n, t in self.tasks.items() if n.startswith(prefix)
+        )
+
+    def capacity(self, t0: float = 0.0, t1: float | None = None) -> float:
+        """CPU-seconds the machine offered over [t0, t1)."""
+        end = self.duration if t1 is None else t1
+        return self.machine.total_capacity(t0, end)
+
+    # -- curves ---------------------------------------------------------
+
+    def series(
+        self, name: str, times: Sequence[float], scale: float = 1.0
+    ) -> list[tuple[float, float]]:
+        """Cumulative (time, service * scale) curve for one task."""
+        return cumulative_series(self.tasks[name], times, scale=scale)
+
+    def sampled_series(
+        self,
+        names: Iterable[str],
+        step: float,
+        scale: float = 1.0,
+        t0: float = 0.0,
+        t1: float | None = None,
+    ) -> dict[str, list[tuple[float, float]]]:
+        """Regularly sampled cumulative curves for several tasks."""
+        end = self.duration if t1 is None else t1
+        times = regular_times(t0, end, step)
+        return {n: self.series(n, times, scale=scale) for n in names}
+
+    # -- fairness -------------------------------------------------------
+
+    def starvation(
+        self, name: str, t0: float, t1: float, resolution: float = 0.1
+    ) -> float:
+        """Longest no-progress interval of task ``name`` in [t0, t1)."""
+        return longest_starvation(self.tasks[name], t0, t1, resolution)
+
+    def jains(self, t0: float = 0.0, t1: float | None = None) -> float:
+        """Jain's fairness index over weighted service A_i / w_i."""
+        end = self.duration if t1 is None else t1
+        values = [
+            service_between(t, t0, end) / t.weight for t in self.tasks.values()
+        ]
+        return jains_index(values)
+
+    def gms_deviation(self) -> dict[int, float]:
+        """Per-tid Eq. 3 surplus vs the GMS trace replay."""
+        from repro.analysis.fairness import gms_deviation
+
+        return gms_deviation(self.machine)
+
+    def lag_report(
+        self, t0: float = 0.0, t1: float | None = None, step: float = 0.1
+    ) -> dict[str, float]:
+        """Max |actual - fluid GMS| per task name over the window."""
+        from repro.analysis.lag import lag_report
+
+        end = self.duration if t1 is None else t1
+        return lag_report(self.machine, t0, end, step)
+
+
+def _metric_shares(result: SimulationResult) -> dict[str, float]:
+    return result.shares()
+
+
+def _metric_jains(result: SimulationResult) -> float:
+    return result.jains()
+
+
+def _metric_total_service(result: SimulationResult) -> float:
+    return sum(t.service for t in result.tasks.values())
+
+
+def _metric_context_switches(result: SimulationResult) -> int:
+    return result.trace.context_switches
+
+
+def _metric_preemptions(result: SimulationResult) -> int:
+    return result.trace.preemptions
+
+
+def _metric_decisions(result: SimulationResult) -> int:
+    return result.trace.decisions
+
+
+def _metric_events_fired(result: SimulationResult) -> int:
+    return result.machine.engine.events_fired
+
+
+def _metric_max_lag(result: SimulationResult) -> float:
+    report = result.lag_report(step=max(result.duration / 100.0, 0.05))
+    return max(report.values(), default=0.0)
+
+
+#: canned metric name -> extractor (flat, picklable values only)
+METRICS = {
+    "shares": _metric_shares,
+    "jains": _metric_jains,
+    "total_service": _metric_total_service,
+    "context_switches": _metric_context_switches,
+    "preemptions": _metric_preemptions,
+    "decisions": _metric_decisions,
+    "events_fired": _metric_events_fired,
+    "max_lag": _metric_max_lag,
+}
+
+
+def summarize(
+    result: SimulationResult, metrics: Iterable[str]
+) -> dict[str, Any]:
+    """Compute the named canned metrics into a flat, picklable dict."""
+    out: dict[str, Any] = {}
+    for name in metrics:
+        try:
+            extractor = METRICS[name]
+        except KeyError:
+            known = ", ".join(sorted(METRICS))
+            raise ValueError(
+                f"unknown metric {name!r}; known: {known}"
+            ) from None
+        out[name] = extractor(result)
+    return out

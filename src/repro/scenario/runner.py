@@ -1,0 +1,189 @@
+"""Execute a declarative :class:`~repro.scenario.spec.Scenario`.
+
+``run_scenario`` is the single pipeline every experiment, sweep and
+workload goes through: build the machine from the spec, populate tasks
+and drivers, schedule control events, interleave probes with the run,
+settle accounting, and wrap everything in a
+:class:`~repro.scenario.result.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.scenario.result import SimulationResult, summarize
+from repro.scenario.spec import (
+    Compile,
+    Compute,
+    Disksim,
+    Inf,
+    InteractiveLoop,
+    Kill,
+    LatCtxRing,
+    Mpeg,
+    Scenario,
+    SetWeight,
+    ShortJobs,
+    TaskSpec,
+)
+from repro.schedulers.registry import make_scheduler
+from repro.sim.costs import LMBENCH_COST, TESTBED_COST, ZERO_COST
+from repro.sim.machine import Machine
+from repro.sim.task import Task
+from repro.workloads.base import Behavior
+from repro.workloads.cpu_bound import FiniteCompute, Infinite
+from repro.workloads.disksim import DisksimBatch
+from repro.workloads.gcc_build import CompileJob
+from repro.workloads.interactive import Interactive
+from repro.workloads.lmbench import TokenRing
+from repro.workloads.mpeg import MpegDecoder
+from repro.workloads.shortjobs import ShortJobFeeder
+
+__all__ = ["run_scenario", "build_machine", "COST_MODELS"]
+
+#: cost-model registry names accepted by ``Scenario.cost_model``
+COST_MODELS = {
+    "zero": ZERO_COST,
+    "testbed": TESTBED_COST,
+    "lmbench": LMBENCH_COST,
+}
+
+
+def _build_behavior(spec) -> Behavior:
+    """Instantiate the workload behaviour a spec names."""
+    if isinstance(spec, Inf):
+        return Infinite()
+    if isinstance(spec, Compute):
+        return FiniteCompute(spec.cpu_seconds)
+    if isinstance(spec, InteractiveLoop):
+        rng = random.Random(spec.seed) if spec.seed is not None else None
+        return Interactive(
+            think_time=spec.think_time, burst=spec.burst, rng=rng
+        )
+    if isinstance(spec, Mpeg):
+        return MpegDecoder(
+            frame_cost=spec.frame_cost,
+            target_fps=spec.target_fps,
+            total_frames=spec.total_frames,
+        )
+    if isinstance(spec, Compile):
+        return CompileJob(
+            random.Random(spec.seed),
+            burst_mean=spec.burst_mean,
+            io_mean=spec.io_mean,
+            total_cpu=spec.total_cpu,
+        )
+    if isinstance(spec, Disksim):
+        rng = random.Random(spec.seed) if spec.seed is not None else None
+        return DisksimBatch(
+            checkpoint_every=spec.checkpoint_every,
+            checkpoint_io=spec.checkpoint_io,
+            rng=rng,
+        )
+    raise TypeError(f"unknown behaviour spec {spec!r}")
+
+
+def build_machine(
+    scenario: Scenario,
+) -> tuple[Machine, dict[str, Task], dict[str, object]]:
+    """Construct the machine, tasks and drivers a scenario declares."""
+    try:
+        cost_model = COST_MODELS[scenario.cost_model]
+    except KeyError:
+        known = ", ".join(sorted(COST_MODELS))
+        raise ValueError(
+            f"unknown cost model {scenario.cost_model!r}; known: {known}"
+        ) from None
+    scheduler = make_scheduler(scenario.scheduler, **scenario.scheduler_params)
+    machine = Machine(
+        scheduler,
+        cpus=scenario.cpus,
+        quantum=scenario.quantum,
+        cost_model=cost_model,
+        sample_service=scenario.sample_service,
+        record_events=scenario.record_events,
+        preempt_on_wake=scenario.preempt_on_wake,
+        quantum_jitter=scenario.quantum_jitter,
+        jitter_seed=scenario.jitter_seed,
+    )
+    tasks: dict[str, Task] = {}
+    for spec in scenario.tasks:
+        task = Task(
+            _build_behavior(spec.behavior),
+            weight=spec.weight,
+            name=spec.name,
+            footprint_kb=spec.footprint_kb,
+            ts_priority=spec.ts_priority,
+        )
+        machine.add_task(task, at=spec.at)
+        tasks[spec.name] = task
+    drivers: dict[str, object] = {}
+    for driver in scenario.drivers:
+        if isinstance(driver, ShortJobs):
+            drivers[driver.name] = ShortJobFeeder(
+                machine,
+                weight=driver.weight,
+                job_cpu=driver.job_cpu,
+                first_arrival=driver.first_arrival,
+                gap=driver.gap,
+                name_prefix=driver.name,
+            )
+        elif isinstance(driver, LatCtxRing):
+            drivers[driver.name] = TokenRing(
+                machine,
+                nprocs=driver.nprocs,
+                passes=driver.passes,
+                work_cost=driver.work_cost,
+                footprint_kb=driver.footprint_kb,
+                start_at=driver.start_at,
+            )
+        else:
+            raise TypeError(f"unknown driver spec {driver!r}")
+    for event in scenario.events:
+        if isinstance(event, SetWeight):
+            machine.set_weight_at(tasks[event.task], event.weight, event.at)
+        elif isinstance(event, Kill):
+            machine.kill_task_at(tasks[event.task], event.at)
+        else:
+            raise TypeError(f"unknown event spec {event!r}")
+    return machine, tasks, drivers
+
+
+def run_scenario(scenario: Scenario) -> SimulationResult:
+    """Run a scenario to completion and collect its results."""
+    machine, tasks, drivers = build_machine(scenario)
+    probes = sorted(
+        enumerate(scenario.probes), key=lambda pair: (pair[1].at, pair[0])
+    )
+    values: dict[int, object] = {}
+    for index, probe in probes:
+        machine.run_until(probe.at)
+        values[index] = probe.fn(machine, tasks)
+    if scenario.duration is not None:
+        machine.run_until(scenario.duration)
+    else:
+        # Step event-by-event so the run stops exactly when the last
+        # driver completes — result.duration/capacity/shares then cover
+        # the true measured window, with no idle padding.
+        rings = [d for d in drivers.values() if isinstance(d, TokenRing)]
+        while not all(r.done for r in rings):
+            if machine.now >= scenario.max_time:
+                raise RuntimeError(
+                    f"drivers did not finish within "
+                    f"max_time={scenario.max_time}"
+                )
+            if not machine.engine.step():
+                raise RuntimeError(
+                    "drivers cannot finish: event queue drained"
+                )
+        machine.run_until(machine.now)  # settle service accounting
+    result = SimulationResult(
+        scenario,
+        machine,
+        tasks,
+        drivers,
+        [values[i] for i in range(len(scenario.probes))],
+    )
+    if scenario.metrics:
+        result.metrics = summarize(result, scenario.metrics)
+    return result

@@ -1,0 +1,314 @@
+"""The declarative scenario specification.
+
+Everything here is plain, picklable data: a :class:`Scenario` can be
+shipped to a worker process (see :mod:`repro.scenario.sweep`) or
+serialized next to its results. Behaviour
+*specs* name the workload behaviours of :mod:`repro.workloads` without
+instantiating them — construction (and seeding of any RNGs) happens
+inside :func:`repro.scenario.runner.run_scenario`, so running the same
+scenario twice is bit-for-bit identical.
+
+The population DSL:
+
+- :func:`task` / :func:`group` declare tasks with a behaviour, weight
+  and arrival time;
+- :class:`SetWeight` and :class:`Kill` schedule the §3.1 control
+  operations (on-the-fly weight changes, external departures);
+- :class:`ShortJobs` declares the Fig. 5 arrival process (a new short
+  job the instant the previous one exits);
+- :class:`LatCtxRing` declares the lmbench ``lat_ctx`` token ring of
+  Table 1 / Fig. 7;
+- :class:`Probe` samples arbitrary mid-run state (e.g. SFQ start tags
+  the instant a thread arrives, as Example 1 requires).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Union
+
+__all__ = [
+    "Inf",
+    "Compute",
+    "InteractiveLoop",
+    "Mpeg",
+    "Compile",
+    "Disksim",
+    "BehaviorSpec",
+    "TaskSpec",
+    "task",
+    "group",
+    "ShortJobs",
+    "LatCtxRing",
+    "SetWeight",
+    "Kill",
+    "Probe",
+    "Scenario",
+]
+
+
+# ----------------------------------------------------------------------
+# behaviour specs (one per workload behaviour in repro.workloads)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Inf:
+    """Compute forever — the paper's ``Inf`` / dhrystone loop."""
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Consume ``cpu_seconds`` of CPU, then exit."""
+
+    cpu_seconds: float
+
+
+@dataclass(frozen=True)
+class InteractiveLoop:
+    """Think/compute loop with response-time accounting (Fig. 6(c))."""
+
+    think_time: float = 1.0
+    burst: float = 0.005
+    seed: int | None = None
+
+
+@dataclass(frozen=True)
+class Mpeg:
+    """Paced MPEG frame-decoding loop (Fig. 6(b))."""
+
+    frame_cost: float = 0.027
+    target_fps: float = 30.0
+    total_frames: int | None = None
+
+
+@dataclass(frozen=True)
+class Compile:
+    """A gcc-like compile process: CPU bursts between file I/O."""
+
+    seed: int
+    burst_mean: float = 0.08
+    io_mean: float = 0.004
+    total_cpu: float | None = None
+
+
+@dataclass(frozen=True)
+class Disksim:
+    """A disksim-like batch simulation process (Fig. 6(c))."""
+
+    checkpoint_every: float | None = None
+    checkpoint_io: float = 0.002
+    seed: int | None = None
+
+
+BehaviorSpec = Union[Inf, Compute, InteractiveLoop, Mpeg, Compile, Disksim]
+
+
+# ----------------------------------------------------------------------
+# task population
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One thread of the population: behaviour + weight + arrival."""
+
+    name: str
+    weight: float = 1.0
+    behavior: BehaviorSpec = Inf()
+    at: float = 0.0
+    ts_priority: int = 20
+    footprint_kb: float = 0.0
+
+
+def task(
+    name: str,
+    weight: float = 1.0,
+    behavior: BehaviorSpec = Inf(),
+    at: float = 0.0,
+    ts_priority: int = 20,
+    footprint_kb: float = 0.0,
+) -> TaskSpec:
+    """Declare one task (compute-bound ``Inf`` by default)."""
+    return TaskSpec(name, weight, behavior, at, ts_priority, footprint_kb)
+
+
+def group(
+    count: int,
+    weight: float = 1.0,
+    prefix: str = "T",
+    behavior: BehaviorSpec = Inf(),
+    at: float = 0.0,
+) -> tuple[TaskSpec, ...]:
+    """Declare ``count`` identical tasks named ``prefix-1 .. prefix-N``."""
+    return tuple(
+        TaskSpec(f"{prefix}-{i + 1}", weight, behavior, at)
+        for i in range(count)
+    )
+
+
+# ----------------------------------------------------------------------
+# drivers: arrival processes that add/steer tasks while the sim runs
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShortJobs:
+    """The Fig. 5 / Example 2 short-job sequence.
+
+    Back-to-back finite jobs: the next one arrives the instant the
+    previous one exits (plus ``gap``). Accessible after the run as
+    ``result.driver(name)`` (a
+    :class:`~repro.workloads.shortjobs.ShortJobFeeder`).
+    """
+
+    name: str = "T_short"
+    weight: float = 5.0
+    job_cpu: float = 0.3
+    first_arrival: float = 0.0
+    gap: float = 0.0
+
+
+@dataclass(frozen=True)
+class LatCtxRing:
+    """The lmbench ``lat_ctx`` token ring of Table 1 / Fig. 7.
+
+    A scenario containing a ring may leave ``duration=None``: the run
+    then ends when every ring has completed its passes. Accessible
+    after the run as ``result.driver(name)`` (a
+    :class:`~repro.workloads.lmbench.TokenRing`).
+    """
+
+    name: str = "lat_ctx"
+    nprocs: int = 2
+    passes: int = 2000
+    work_cost: float = 0.0
+    footprint_kb: float = 0.0
+    start_at: float = 0.0
+
+
+DriverSpec = Union[ShortJobs, LatCtxRing]
+
+
+# ----------------------------------------------------------------------
+# scheduled control events and probes
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SetWeight:
+    """``setweight()`` (§3.1): change ``task``'s weight at time ``at``."""
+
+    task: str
+    weight: float
+    at: float
+
+
+@dataclass(frozen=True)
+class Kill:
+    """Terminate ``task`` at time ``at`` (Fig. 4 stops T2 at t=30 s)."""
+
+    task: str
+    at: float
+
+
+EventSpec = Union[SetWeight, Kill]
+
+
+@dataclass(frozen=True)
+class Probe:
+    """Sample mid-run state at time ``at``.
+
+    ``fn(machine, tasks)`` is called once the simulation reaches ``at``
+    (after all events at ``at`` have fired, exactly as if the caller had
+    paused ``run_until`` there); its return value lands in
+    ``result.probes`` in probe order. ``fn`` must be a module-level
+    callable for the scenario to stay picklable.
+    """
+
+    at: float
+    fn: Callable[[Any, dict[str, Any]], Any]
+
+
+# ----------------------------------------------------------------------
+# the scenario itself
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete, declarative experiment specification.
+
+    Parameters mirror :class:`~repro.sim.machine.Machine` where they
+    overlap; ``scheduler`` is a :mod:`repro.schedulers.registry` name
+    and ``scheduler_params`` per-run constructor overrides. ``metrics``
+    names canned summaries (see
+    :func:`repro.scenario.result.summarize`) computed eagerly into
+    ``result.metrics``; everything else is available lazily on the
+    result object.
+
+    ``duration=None`` is allowed only for scenarios whose drivers
+    finish on their own (currently :class:`LatCtxRing`); the run then
+    stops at completion (bounded by ``max_time``).
+    """
+
+    name: str
+    scheduler: str = "sfs"
+    scheduler_params: Mapping[str, Any] = field(default_factory=dict)
+    cpus: int = 2
+    quantum: float = 0.2
+    cost_model: str = "zero"  # zero | testbed | lmbench
+    duration: float | None = None
+    tasks: tuple[TaskSpec, ...] = ()
+    drivers: tuple[DriverSpec, ...] = ()
+    events: tuple[EventSpec, ...] = ()
+    probes: tuple[Probe, ...] = ()
+    metrics: tuple[str, ...] = ()
+    quantum_jitter: float = 0.0
+    jitter_seed: int = 0
+    sample_service: bool = True
+    record_events: bool = True
+    preempt_on_wake: bool = True
+    max_time: float = 3600.0
+
+    def __post_init__(self) -> None:
+        # Accept nested iterables of TaskSpec (e.g. a group() splice
+        # alongside single tasks) and flatten them.
+        flat: list[TaskSpec] = []
+        for entry in self.tasks:
+            if isinstance(entry, TaskSpec):
+                flat.append(entry)
+            elif isinstance(entry, Iterable):
+                flat.extend(entry)
+            else:
+                raise TypeError(f"bad task entry {entry!r}")
+        object.__setattr__(self, "tasks", tuple(flat))
+        names = [t.name for t in self.tasks]
+        counts = Counter(names)
+        dupes = {n for n, c in counts.items() if c > 1}
+        if dupes:
+            raise ValueError(f"duplicate task names: {sorted(dupes)}")
+        known = set(names)
+        for event in self.events:
+            if event.task not in known:
+                raise ValueError(
+                    f"event {event!r} references unknown task {event.task!r}"
+                )
+        driver_names = [d.name for d in self.drivers]
+        if len(set(driver_names)) != len(driver_names):
+            raise ValueError(f"duplicate driver names: {driver_names}")
+        if self.duration is not None:
+            for probe in self.probes:
+                if probe.at > self.duration:
+                    raise ValueError(
+                        f"probe at t={probe.at} is beyond duration "
+                        f"{self.duration}"
+                    )
+        if self.duration is None and not any(
+            isinstance(d, LatCtxRing) for d in self.drivers
+        ):
+            raise ValueError(
+                "duration=None requires a self-terminating driver "
+                "(LatCtxRing); fixed populations need an explicit duration"
+            )
+
+    def with_(self, **overrides: Any) -> "Scenario":
+        """A copy of this scenario with fields replaced."""
+        return dataclasses.replace(self, **overrides)

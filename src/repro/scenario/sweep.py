@@ -1,0 +1,136 @@
+"""Cartesian policy x machine sweeps over one base scenario.
+
+A :class:`Sweep` expands a base :class:`~repro.scenario.spec.Scenario`
+into the cartesian product of scheduler names, CPU counts and quantum
+lengths, runs every cell through
+:func:`~repro.scenario.runner.run_scenario`, and returns one
+:class:`SweepCell` per grid point **in deterministic grid order**
+(scheduler-major, then cpus, then quantum) regardless of how many
+worker processes executed them.
+
+Execution uses a ``concurrent.futures`` process pool; scenarios are
+plain data, so they pickle cleanly to the workers and only the flat
+metric summaries travel back. Environments without ``fork``/process
+support (or ``workers=0``) degrade to serial in-process execution with
+identical results and ordering.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.scenario.result import summarize
+from repro.scenario.runner import run_scenario
+from repro.scenario.spec import Scenario
+
+__all__ = ["Sweep", "SweepCell", "run_sweep", "sweep_scenarios"]
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A policy x parameter grid over one base scenario.
+
+    Empty axes inherit the base scenario's value, so a sweep with only
+    ``schedulers`` set is a pure policy comparison. ``metrics`` names
+    the canned summaries (see :data:`repro.scenario.result.METRICS`)
+    each cell reports.
+    """
+
+    base: Scenario
+    schedulers: tuple[str, ...] = ()
+    cpus: tuple[int, ...] = ()
+    quanta: tuple[float, ...] = ()
+    metrics: tuple[str, ...] = ("shares", "jains")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point's coordinates and measured metrics."""
+
+    index: int
+    scheduler: str
+    cpus: int
+    quantum: float
+    metrics: Mapping[str, Any] = field(default_factory=dict)
+
+
+def sweep_scenarios(sweep: Sweep) -> list[Scenario]:
+    """Expand the grid into per-cell scenarios, in deterministic order."""
+    schedulers = sweep.schedulers or (sweep.base.scheduler,)
+    cpus = sweep.cpus or (sweep.base.cpus,)
+    quanta = sweep.quanta or (sweep.base.quantum,)
+    cells = []
+    for scheduler, ncpus, quantum in itertools.product(
+        schedulers, cpus, quanta
+    ):
+        cells.append(
+            sweep.base.with_(
+                name=f"{sweep.base.name}[{scheduler}/cpus={ncpus}/q={quantum:g}]",
+                scheduler=scheduler,
+                # Base constructor params only make sense for the base
+                # policy; a different swept policy gets its defaults.
+                scheduler_params=(
+                    sweep.base.scheduler_params
+                    if scheduler == sweep.base.scheduler
+                    else {}
+                ),
+                cpus=ncpus,
+                quantum=quantum,
+            )
+        )
+    return cells
+
+
+def _run_cell(args: tuple[int, Scenario, tuple[str, ...]]) -> SweepCell:
+    """Worker entry point: run one cell, return its flat summary."""
+    index, scenario, metrics = args
+    result = run_scenario(scenario)
+    return SweepCell(
+        index=index,
+        scheduler=scenario.scheduler,
+        cpus=scenario.cpus,
+        quantum=scenario.quantum,
+        metrics=summarize(result, metrics),
+    )
+
+
+def run_sweep(sweep: Sweep, workers: int | None = None) -> list[SweepCell]:
+    """Run every cell of the grid; results come back in grid order.
+
+    ``workers=None`` sizes the pool to the grid (capped by the OS CPU
+    count); ``workers=0`` forces serial in-process execution. The pool
+    is a plain ``concurrent.futures.ProcessPoolExecutor``; if the
+    platform cannot spawn worker processes the sweep transparently
+    falls back to serial execution.
+    """
+    jobs = [
+        (i, scenario, tuple(sweep.metrics))
+        for i, scenario in enumerate(sweep_scenarios(sweep))
+    ]
+    if workers == 0 or len(jobs) <= 1:
+        return [_run_cell(job) for job in jobs]
+    max_workers = min(len(jobs), workers or os.cpu_count() or 1)
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers
+        ) as pool:
+            # Executor.map preserves submission order, which is the
+            # deterministic grid order of sweep_scenarios().
+            return list(pool.map(_run_cell, jobs))
+    except (OSError, PermissionError, concurrent.futures.process.BrokenProcessPool) as exc:
+        # Restricted sandboxes surface missing subprocess support either
+        # at pool creation (OSError/PermissionError) or as worker death
+        # (BrokenProcessPool). Degrade to serial, but loudly — a broken
+        # pool can also mean a genuinely crashing worker (e.g. OOM).
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); re-running the sweep "
+            f"serially in-process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [_run_cell(job) for job in jobs]

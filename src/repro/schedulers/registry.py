@@ -1,61 +1,151 @@
 """Name -> scheduler factory registry.
 
-Used by the experiment CLI and the ablation benchmarks to sweep the
-same workload across every policy. Factories take no arguments;
-policies with options register several pre-configured variants.
+Used by the scenario layer, the experiment CLI and the ablation
+benchmarks to sweep the same workload across every policy. Factories
+are registered with the :func:`register` decorator; a single factory
+function can register several pre-configured *variants* by stacking
+decorators with different presets::
+
+    @register("wfq")
+    @register("wfq-readjust", readjust=True)
+    def _wfq(**options) -> Scheduler:
+        return WeightedFairQueueingScheduler(**options)
+
+:func:`make_scheduler` accepts per-call overrides, so scenarios can
+tweak policy parameters (e.g. the heuristic's scan depth) without
+registering a new name::
+
+    make_scheduler("sfs-heuristic", scan_depth=5)
+
+Downstream projects add policies the same way: decorate any callable
+returning an attached-to-nothing :class:`~repro.sim.scheduler.Scheduler`
+and every experiment, sweep and CLI subcommand can name it.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.core.hierarchical import HierarchicalSurplusFairScheduler
-from repro.core.sfs import SurplusFairScheduler
-from repro.core.sfs_heuristic import HeuristicSurplusFairScheduler
-from repro.schedulers.bvt import BorrowedVirtualTimeScheduler
-from repro.schedulers.gms_reference import GMSReferenceScheduler
-from repro.schedulers.linux_ts import LinuxTimeSharingScheduler
-from repro.schedulers.lottery import LotteryScheduler
-from repro.schedulers.round_robin import RoundRobinScheduler
-from repro.schedulers.sfq import StartTimeFairScheduler
-from repro.schedulers.stride import StrideScheduler
-from repro.schedulers.wfq import WeightedFairQueueingScheduler
 from repro.sim.scheduler import Scheduler
 
-__all__ = ["SCHEDULERS", "make_scheduler", "scheduler_names"]
+__all__ = ["SCHEDULERS", "register", "make_scheduler", "scheduler_names"]
 
-SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
-    "sfs": lambda: SurplusFairScheduler(),
-    "sfs-noreadjust": lambda: SurplusFairScheduler(readjust=False),
-    "sfs-affinity": lambda: SurplusFairScheduler(affinity_bonus=0.05),
-    "sfs-heuristic": lambda: HeuristicSurplusFairScheduler(),
-    "hierarchical-sfs": lambda: HierarchicalSurplusFairScheduler(),
-    "sfq": lambda: StartTimeFairScheduler(),
-    "sfq-readjust": lambda: StartTimeFairScheduler(readjust=True),
-    "gms-reference": lambda: GMSReferenceScheduler(),
-    "linux-ts": lambda: LinuxTimeSharingScheduler(),
-    "stride": lambda: StrideScheduler(),
-    "stride-readjust": lambda: StrideScheduler(readjust=True),
-    "wfq": lambda: WeightedFairQueueingScheduler(),
-    "wfq-readjust": lambda: WeightedFairQueueingScheduler(readjust=True),
-    "bvt": lambda: BorrowedVirtualTimeScheduler(),
-    "bvt-readjust": lambda: BorrowedVirtualTimeScheduler(readjust=True),
-    "lottery": lambda: LotteryScheduler(),
-    "lottery-readjust": lambda: LotteryScheduler(readjust=True),
-    "round-robin": lambda: RoundRobinScheduler(),
-}
+#: name -> factory accepting keyword overrides (populated by @register)
+SCHEDULERS: dict[str, Callable[..., Scheduler]] = {}
 
 
-def make_scheduler(name: str) -> Scheduler:
-    """Instantiate a fresh scheduler by registry name."""
+def register(
+    name: str, **preset: object
+) -> Callable[[Callable[..., Scheduler]], Callable[..., Scheduler]]:
+    """Register ``factory`` under ``name`` with preset keyword options.
+
+    Returns the factory unchanged so decorators stack — each stacked
+    ``@register`` adds one named variant of the same factory.
+    """
+
+    def decorator(factory: Callable[..., Scheduler]) -> Callable[..., Scheduler]:
+        if name in SCHEDULERS:
+            raise ValueError(f"scheduler {name!r} is already registered")
+
+        def build(**overrides: object) -> Scheduler:
+            options = dict(preset)
+            options.update(overrides)
+            return factory(**options)
+
+        SCHEDULERS[name] = build
+        return factory
+
+    return decorator
+
+
+def make_scheduler(name: str, **overrides: object) -> Scheduler:
+    """Instantiate a fresh scheduler by registry name.
+
+    ``overrides`` are keyword arguments forwarded to the policy's
+    constructor on top of the variant's presets.
+    """
     try:
         factory = SCHEDULERS[name]
     except KeyError:
         known = ", ".join(sorted(SCHEDULERS))
         raise ValueError(f"unknown scheduler {name!r}; known: {known}") from None
-    return factory()
+    return factory(**overrides)
 
 
 def scheduler_names() -> list[str]:
     """All registered scheduler names, sorted."""
     return sorted(SCHEDULERS)
+
+
+def _populate() -> None:
+    """Register the built-in policies.
+
+    Runs at module import time; the function only scopes the scheduler
+    imports and factory definitions so the module's public face stays
+    the registry API itself.
+    """
+    from repro.core.hierarchical import HierarchicalSurplusFairScheduler
+    from repro.core.sfs import SurplusFairScheduler
+    from repro.core.sfs_heuristic import HeuristicSurplusFairScheduler
+    from repro.schedulers.bvt import BorrowedVirtualTimeScheduler
+    from repro.schedulers.gms_reference import GMSReferenceScheduler
+    from repro.schedulers.linux_ts import LinuxTimeSharingScheduler
+    from repro.schedulers.lottery import LotteryScheduler
+    from repro.schedulers.round_robin import RoundRobinScheduler
+    from repro.schedulers.sfq import StartTimeFairScheduler
+    from repro.schedulers.stride import StrideScheduler
+    from repro.schedulers.wfq import WeightedFairQueueingScheduler
+
+    @register("sfs")
+    @register("sfs-noreadjust", readjust=False)
+    @register("sfs-affinity", affinity_bonus=0.05)
+    def _sfs(**options) -> Scheduler:
+        return SurplusFairScheduler(**options)
+
+    @register("sfs-heuristic")
+    def _sfs_heuristic(**options) -> Scheduler:
+        return HeuristicSurplusFairScheduler(**options)
+
+    @register("hierarchical-sfs")
+    def _hierarchical(**options) -> Scheduler:
+        return HierarchicalSurplusFairScheduler(**options)
+
+    @register("sfq")
+    @register("sfq-readjust", readjust=True)
+    def _sfq(**options) -> Scheduler:
+        return StartTimeFairScheduler(**options)
+
+    @register("gms-reference")
+    def _gms(**options) -> Scheduler:
+        return GMSReferenceScheduler(**options)
+
+    @register("linux-ts")
+    def _linux_ts(**options) -> Scheduler:
+        return LinuxTimeSharingScheduler(**options)
+
+    @register("stride")
+    @register("stride-readjust", readjust=True)
+    def _stride(**options) -> Scheduler:
+        return StrideScheduler(**options)
+
+    @register("wfq")
+    @register("wfq-readjust", readjust=True)
+    def _wfq(**options) -> Scheduler:
+        return WeightedFairQueueingScheduler(**options)
+
+    @register("bvt")
+    @register("bvt-readjust", readjust=True)
+    def _bvt(**options) -> Scheduler:
+        return BorrowedVirtualTimeScheduler(**options)
+
+    @register("lottery")
+    @register("lottery-readjust", readjust=True)
+    def _lottery(**options) -> Scheduler:
+        return LotteryScheduler(**options)
+
+    @register("round-robin")
+    def _round_robin(**options) -> Scheduler:
+        return RoundRobinScheduler(**options)
+
+
+_populate()

@@ -20,10 +20,13 @@ __all__ = ["Engine", "EventHandle"]
 class EventHandle:
     """Handle to a scheduled event; allows O(1) cancellation.
 
-    Cancelled events stay in the heap but are skipped when popped.
+    Cancelled events stay in the heap but are skipped when popped. The
+    handle keeps a back-reference to its engine while live so that
+    cancellation can maintain the engine's pending-event counter; the
+    reference is dropped once the event fires or is cancelled.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_engine")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -31,10 +34,16 @@ class EventHandle:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._engine: "Engine | None" = None
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if already fired)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._live -= 1
+            self._engine = None
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -52,6 +61,7 @@ class Engine:
         self._heap: list[EventHandle] = []
         self._seq = 0
         self._fired = 0
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -65,8 +75,8 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-fired, not-cancelled events — O(1)."""
+        return self._live
 
     def schedule_at(self, when: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to fire at absolute time ``when``.
@@ -79,7 +89,9 @@ class Engine:
                 f"cannot schedule event in the past: {when} < now {self._now}"
             )
         handle = EventHandle(when, self._seq, fn, args)
+        handle._engine = self
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, handle)
         return handle
 
@@ -97,6 +109,8 @@ class Engine:
                 continue
             self._now = handle.time
             self._fired += 1
+            self._live -= 1
+            handle._engine = None  # a later cancel() must not re-decrement
             handle.fn(*handle.args)
             return True
         return False

@@ -1,0 +1,133 @@
+"""Tests for the redesigned ``sfs-experiment`` CLI (run/sweep/list)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, main
+
+
+class TestRunSubcommand:
+    def test_run_fig1(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "=== fig1 " in out and "Figure 1" in out
+
+    def test_bare_experiment_id_still_works(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+
+    def test_bare_and_subcommand_forms_identical(self, capsys):
+        main(["fig4"])
+        bare = capsys.readouterr().out
+        main(["run", "fig4"])
+        sub = capsys.readouterr().out
+        assert bare == sub
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "not-an-experiment"])
+
+    def test_csv_export(self, tmp_path, capsys):
+        outdir = tmp_path / "csv"
+        assert main(["run", "fig4", "--csv", str(outdir)]) == 0
+        files = {p.name for p in outdir.iterdir()}
+        assert "fig4_sfq_series.csv" in files
+        assert "fig4_sfq-readjust_series.csv" in files
+        with open(outdir / "fig4_sfq_series.csv", newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["series", "time", "value"]
+        assert {r[0] for r in rows[1:]} == {"T1", "T2", "T3"}
+        # phase shares land in per-field csvs
+        assert "fig4_sfq_phase2.csv" in files
+
+    def test_json_export(self, tmp_path, capsys):
+        outdir = tmp_path / "json"
+        assert main(["run", "fig4", "--json", str(outdir)]) == 0
+        with open(outdir / "fig4_sfq.json") as fh:
+            payload = json.load(fh)
+        assert payload["scheduler"] == "SFQ"
+        assert "phase2" in payload and "T1" in payload["phase2"]
+        # non-serializable fields (Task objects) are dropped, not dumped
+        assert "tasks" not in payload or payload["tasks"] == {}
+
+
+class TestSweepSubcommand:
+    def test_six_cell_grid_serial(self, capsys):
+        code = main([
+            "sweep", "--scheduler", "sfs", "sfq", "stride",
+            "--cpus", "1", "2", "--duration", "2.0", "--workers", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep: 6 cells" in out
+        # deterministic scheduler-major ordering
+        lines = [l for l in out.splitlines() if l.startswith(("sfs", "sfq", "stride"))]
+        assert [l.split()[0] for l in lines] == [
+            "sfs", "sfs", "sfq", "sfq", "stride", "stride",
+        ]
+
+    def test_sweep_csv_export(self, tmp_path, capsys):
+        outdir = tmp_path / "sweep"
+        code = main([
+            "sweep", "--scheduler", "sfs", "--cpus", "2",
+            "--duration", "1.0", "--workers", "0", "--csv", str(outdir),
+        ])
+        assert code == 0
+        with open(outdir / "sweep.csv", newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][:3] == ["scheduler", "cpus", "quantum"]
+        assert rows[1][0] == "sfs"
+
+    def test_sweep_json_export(self, tmp_path, capsys):
+        outdir = tmp_path / "sweepj"
+        main([
+            "sweep", "--scheduler", "sfs", "--cpus", "2",
+            "--duration", "1.0", "--workers", "0", "--json", str(outdir),
+        ])
+        capsys.readouterr()
+        with open(outdir / "sweep.json") as fh:
+            payload = json.load(fh)
+        assert payload[0]["scheduler"] == "sfs"
+        assert 0.0 < payload[0]["jains"] <= 1.0
+
+    def test_tasks_one_runs_heavy_alone(self, capsys):
+        code = main([
+            "sweep", "--scheduler", "sfs", "--cpus", "1", "--tasks", "1",
+            "--duration", "1.0", "--workers", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # only the heavy task -> it owns the whole (1-CPU) machine
+        assert " 1.0000 " in out.splitlines()[-1]
+
+    def test_tasks_zero_rejected(self, capsys):
+        code = main([
+            "sweep", "--scheduler", "sfs", "--cpus", "1", "--tasks", "0",
+            "--duration", "1.0", "--workers", "0",
+        ])
+        assert code == 2
+        assert "--tasks must be >= 1" in capsys.readouterr().err
+
+    def test_unknown_scheduler_fails_cleanly(self, capsys):
+        code = main(["sweep", "--scheduler", "cfs", "--cpus", "1",
+                     "--duration", "1.0", "--workers", "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown scheduler 'cfs'" in err
+        assert "Traceback" not in err
+
+
+class TestListSubcommand:
+    def test_lists_experiments_and_schedulers(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+        assert "sfs-heuristic" in out and "round-robin" in out
+
+    def test_no_arguments_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main([])

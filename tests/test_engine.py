@@ -74,6 +74,22 @@ class TestCancellation:
         h1.cancel()
         assert engine.pending == 1
 
+    def test_pending_counter_tracks_fire_and_cancel(self):
+        engine = Engine()
+        h1 = engine.schedule_at(1.0, lambda: None)
+        h2 = engine.schedule_at(2.0, lambda: None)
+        engine.schedule_at(3.0, lambda: None)
+        assert engine.pending == 3
+        engine.step()  # fires h1
+        assert engine.pending == 2
+        h2.cancel()
+        h2.cancel()  # double-cancel must not double-decrement
+        assert engine.pending == 1
+        h1.cancel()  # cancel after fire must not decrement
+        assert engine.pending == 1
+        engine.run()
+        assert engine.pending == 0
+
 
 class TestRunUntil:
     def test_processes_events_up_to_and_including_t_end(self):

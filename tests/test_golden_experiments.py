@@ -1,0 +1,102 @@
+"""Contract tests: the scenario-based experiment rewrite must render
+byte-identically to the pre-refactor modules.
+
+``tests/golden/*.txt`` were captured from the hand-rolled experiment
+modules before they were rewritten on top of ``repro.scenario`` (one
+scaled-down configuration per module, plus the full ``run all`` CLI
+transcript in ``all.txt``). Any byte of drift is a real behaviour
+change in the pipeline — machine construction order, RNG seeding,
+sampling or formatting — and should be treated as a regression.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import (
+    fig1_infeasible,
+    fig3_heuristic,
+    fig4_readjustment,
+    fig5_shortjobs,
+    fig6a_proportional,
+    fig6b_isolation,
+    fig6c_interactive,
+    fig7_ctxswitch,
+    sensitivity,
+    table1_lmbench,
+)
+from repro.experiments.cli import EXPERIMENTS
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+#: experiment id -> thunk reproducing the golden (scaled-down) render
+CASES = {
+    "fig1": lambda: fig1_infeasible.render(
+        fig1_infeasible.run("sfq", horizon_quanta=1500)
+    ),
+    "fig3": lambda: fig3_heuristic.render(
+        fig3_heuristic.run(thread_counts=(50,), scan_depths=(5,), decisions=150)
+    ),
+    "fig4": lambda: fig4_readjustment.render(
+        fig4_readjustment.run("sfq-readjust")
+    ),
+    "fig5": lambda: fig5_shortjobs.render(fig5_shortjobs.run("sfs")),
+    "fig6a": lambda: fig6a_proportional.render(
+        fig6a_proportional.run(
+            weight_pairs=((1, 2),), horizon=30.0, warmup=10.0
+        )
+    ),
+    "fig6b": lambda: fig6b_isolation.render(
+        fig6b_isolation.run(compile_counts=(0, 2))
+    ),
+    "fig6c": lambda: fig6c_interactive.render(
+        fig6c_interactive.run(disksim_counts=(1,))
+    ),
+    "table1": lambda: table1_lmbench.render(table1_lmbench.run(passes=200)),
+    "fig7": lambda: fig7_ctxswitch.render(
+        fig7_ctxswitch.run(ring_sizes=(2, 8), passes=200)
+    ),
+    "sensitivity": lambda: sensitivity.render(
+        sensitivity.run(
+            jitters=(0.0,), seeds=(1,), schedulers=("gms-reference",)
+        )
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_render_is_byte_identical_to_pre_refactor(name):
+    golden = (GOLDEN / f"{name}.txt").read_text()
+    assert CASES[name]() + "\n" == golden
+
+
+def _golden_all_sections() -> dict[str, str]:
+    """Split the captured `run all` transcript into per-experiment text."""
+    sections: dict[str, list[str]] = {}
+    current = None
+    for line in (GOLDEN / "all.txt").read_text().splitlines():
+        if line.startswith("=== "):
+            current = line.split()[1]
+            sections[current] = []
+        elif current is not None:
+            sections[current].append(line)
+    # Each section ends with the blank separator print() emits.
+    return {
+        name: "\n".join(lines).rstrip("\n")
+        for name, lines in sections.items()
+    }
+
+
+def test_cli_fig4_section_matches_full_golden_transcript():
+    """Spot-check a full-scale (unscaled) CLI section byte-for-byte.
+
+    Running all ten at full scale takes ~10 s; fig4 is cheap and covers
+    the multi-variant join path (`run(...)` twice, blank-line
+    separator).
+    """
+    sections = _golden_all_sections()
+    assert EXPERIMENTS["fig4"]() == sections["fig4"]
+
+
+def test_golden_transcript_covers_every_experiment():
+    assert set(_golden_all_sections()) == set(EXPERIMENTS)
