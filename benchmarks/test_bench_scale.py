@@ -1,0 +1,78 @@
+"""Scale benchmark: simulator throughput on the server scenario family.
+
+The hot-path work (O(log n) run queues, incremental live-task
+accounting, decimated service sampling) is only worth anything if the
+simulator actually sustains thousands of tasks. This bench runs the
+``server`` preset — Poisson arrivals, bounded-Pareto demands, mixed
+weight classes — at N ∈ {100, 1000, 5000} under the ``lmbench`` cost
+model (whose per-dispatch decision cost reads ``Machine.live_count``,
+the path that used to scan every task ever created) and records
+**events/sec** in ``benchmark.extra_info`` so CI can chart the perf
+trajectory across PRs (``--benchmark-json`` → ``BENCH_scale.json``).
+
+Reference points (this machine, PR 2, same run as the README table):
+pre-PR the N=5000 SFS run sustained ~6.0k events/sec; eliminating the
+quadratic live_count scan and the linear run-queue removals lifted it
+to ~32k (SFQ ~59k, round-robin ~108k). Wall-clock noise between runs
+is ±20%; treat the trajectory, not single cells, as signal.
+"""
+
+import time
+
+import pytest
+
+from repro.scenario import class_shares, run_scenario, server_scenario
+
+#: the family's scaling ladder; 5000 is the acceptance-criteria point
+SIZES = [100, 1000, 5000]
+SCHEDULERS = ["sfs", "sfq", "round-robin"]
+
+
+def run_server(n, scheduler):
+    scenario = server_scenario(
+        n,
+        cpus=4,
+        scheduler=scheduler,
+        cost_model="lmbench",
+        service_sample_interval=0.5,
+    )
+    t0 = time.perf_counter()
+    result = run_scenario(scenario)
+    wall = time.perf_counter() - t0
+    return scenario, result, wall
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+@pytest.mark.parametrize("n", SIZES)
+def test_server_scale_events_per_sec(benchmark, n, scheduler):
+    def once():
+        return run_server(n, scheduler)
+
+    scenario, result, wall = benchmark.pedantic(once, rounds=1, iterations=1)
+    events = result.machine.engine.events_fired
+    benchmark.extra_info["scheduler"] = scheduler
+    benchmark.extra_info["n_tasks"] = n
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["events_per_sec"] = round(events / wall)
+    benchmark.extra_info["context_switches"] = result.trace.context_switches
+
+    # Sanity, not speed: the run did real scheduling work and stayed
+    # within machine capacity.
+    assert events > n  # every task at least arrived + ran
+    total = sum(t.service for t in result.tasks.values())
+    assert 0 < total <= result.capacity() + 1e-6
+    shares = class_shares(result)
+    assert all(s >= 0 for s in shares.values())
+
+
+def test_server_scale_decimation_bounds_series_memory():
+    """At N=5000 the decimated curves must stay far below one point per
+    event — the whole point of service_sample_interval."""
+    scenario, result, _ = run_server(5000, "sfs")
+    points = sum(len(t.series) for t in result.tasks.values())
+    events = result.machine.engine.events_fired
+    assert points < events
+    # Totals are exact even with decimation: final service equals the
+    # per-task behaviour demand for every completed job.
+    for t in result.tasks.values():
+        assert t.service <= t.behavior.cpu_seconds + 1e-9

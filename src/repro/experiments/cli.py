@@ -9,6 +9,10 @@ Subcommands:
 - ``sfs-experiment sweep --scheduler sfs sfq --cpus 1 2 4 ...`` — run a
   cartesian policy x machine grid of the canonical proportional-share
   workload across a process pool, with deterministic output ordering;
+- ``sfs-experiment server --n 1000 --scheduler sfs sfq ...`` — run the
+  high-N server scenario family (Poisson arrivals, heavy-tailed
+  demands, mixed weight classes) and report per-class shares plus
+  simulator throughput (events/sec);
 - ``sfs-experiment list`` — show experiment ids, registered scheduler
   names and canned sweep metrics.
 
@@ -23,6 +27,7 @@ import dataclasses
 import json
 import os
 import sys
+import time
 from typing import Any, Callable
 
 from repro.analysis.csvout import write_rows, write_series
@@ -38,8 +43,19 @@ from repro.experiments import (
     sensitivity,
     table1_lmbench,
 )
-from repro.scenario import Scenario, Sweep, group, run_sweep, task
+from repro.scenario import (
+    SERVER_WEIGHT_CLASSES,
+    Scenario,
+    Sweep,
+    class_shares,
+    group,
+    run_scenario,
+    run_sweep,
+    server_scenario,
+    task,
+)
 from repro.schedulers.registry import scheduler_names
+from repro.sim.costs import COST_MODELS
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -313,6 +329,69 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_server(args: argparse.Namespace) -> int:
+    class_names = [name for name, _, _ in SERVER_WEIGHT_CLASSES]
+    header = (
+        f"{'scheduler':16s} {'n':>6s} {'events':>8s} {'wall_s':>7s} "
+        f"{'events/s':>9s} {'ctx':>8s}"
+        + "".join(f" {name:>7s}" for name in class_names)
+    )
+    print(
+        f"server family: n={args.n} cpus={args.cpus} load={args.load:g} "
+        f"seed={args.seed} cost={args.cost_model} "
+        f"quantum={args.quantum:g}"
+    )
+    print(header)
+    rows = []
+    for scheduler in args.scheduler:
+        scenario = server_scenario(
+            args.n,
+            cpus=args.cpus,
+            scheduler=scheduler,
+            seed=args.seed,
+            load=args.load,
+            quantum=args.quantum,
+            cost_model=args.cost_model,
+            service_sample_interval=args.sample_interval,
+        )
+        t0 = time.perf_counter()
+        result = run_scenario(scenario)
+        wall = time.perf_counter() - t0
+        events = result.machine.engine.events_fired
+        shares = class_shares(result)
+        row = {
+            "scheduler": scheduler,
+            "n": args.n,
+            "events": events,
+            "wall_s": round(wall, 4),
+            "events_per_sec": round(events / wall) if wall > 0 else 0,
+            "context_switches": result.trace.context_switches,
+            **{f"share_{name}": shares[name] for name in class_names},
+        }
+        rows.append(row)
+        print(
+            f"{scheduler:16s} {args.n:6d} {events:8d} {wall:7.2f} "
+            f"{row['events_per_sec']:9,d} {row['context_switches']:8d}"
+            + "".join(f" {shares[name]:7.4f}" for name in class_names)
+        )
+    headers = list(rows[0])
+    if args.csv:
+        path = write_rows(
+            os.path.join(args.csv, "server.csv"),
+            headers,
+            [tuple(row[h] for h in headers) for row in rows],
+        )
+        print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        os.makedirs(args.json, exist_ok=True)
+        path = os.path.join(args.json, "server.json")
+        with open(path, "w") as fh:
+            json.dump(rows, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.scenario.result import METRICS
 
@@ -392,6 +471,49 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--json", metavar="DIR", default=None,
                          help="write sweep.json into DIR")
 
+    p_server = sub.add_parser(
+        "server",
+        help="run the high-N server scenario family "
+        "(Poisson arrivals, heavy-tailed demands, mixed weights)",
+    )
+    p_server.add_argument(
+        "--n", type=int, default=1000, metavar="N",
+        help="number of jobs in the arrival stream",
+    )
+    p_server.add_argument(
+        "--scheduler", nargs="+", default=["sfs", "sfq", "round-robin"],
+        metavar="NAME", help="registry scheduler names (see `list`)",
+    )
+    p_server.add_argument(
+        "--cpus", type=int, default=4, metavar="P", help="CPU count",
+    )
+    p_server.add_argument(
+        "--seed", type=int, default=42, metavar="S",
+        help="PRNG seed for arrivals/demands/weights",
+    )
+    p_server.add_argument(
+        "--load", type=float, default=0.85, metavar="RHO",
+        help="offered utilization (arrival rate = load*cpus/mean_service)",
+    )
+    p_server.add_argument(
+        "--quantum", type=float, default=0.05, metavar="SEC",
+        help="scheduling quantum",
+    )
+    p_server.add_argument(
+        "--cost-model", choices=sorted(COST_MODELS),
+        default="lmbench",
+        help="context-switch/decision cost model",
+    )
+    p_server.add_argument(
+        "--sample-interval", type=float, default=0.5, metavar="SEC",
+        help="decimate service curves to one point per interval "
+        "(0 = every charge boundary)",
+    )
+    p_server.add_argument("--csv", metavar="DIR", default=None,
+                          help="write server.csv into DIR")
+    p_server.add_argument("--json", metavar="DIR", default=None,
+                          help="write server.json into DIR")
+
     sub.add_parser("list", help="list experiment ids and scheduler names")
     return parser
 
@@ -409,6 +531,12 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sweep(args)
         except ValueError as exc:
             print(f"sfs-experiment sweep: error: {exc}", file=sys.stderr)
+            return 2
+    if args.command == "server":
+        try:
+            return _cmd_server(args)
+        except ValueError as exc:
+            print(f"sfs-experiment server: error: {exc}", file=sys.stderr)
             return 2
     return _cmd_list(args)
 

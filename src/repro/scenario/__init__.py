@@ -31,6 +31,11 @@ new module::
 
 from repro.scenario.result import SimulationResult, summarize
 from repro.scenario.runner import run_scenario
+from repro.scenario.server import (
+    SERVER_WEIGHT_CLASSES,
+    class_shares,
+    server_scenario,
+)
 from repro.scenario.spec import (
     Compile,
     Compute,
@@ -55,6 +60,9 @@ __all__ = [
     "Compute",
     "Disksim",
     "Inf",
+    "SERVER_WEIGHT_CLASSES",
+    "class_shares",
+    "server_scenario",
     "InteractiveLoop",
     "Kill",
     "LatCtxRing",

@@ -27,7 +27,7 @@ from repro.scenario.spec import (
     TaskSpec,
 )
 from repro.schedulers.registry import make_scheduler
-from repro.sim.costs import LMBENCH_COST, TESTBED_COST, ZERO_COST
+from repro.sim.costs import COST_MODELS
 from repro.sim.machine import Machine
 from repro.sim.task import Task
 from repro.workloads.base import Behavior
@@ -40,13 +40,6 @@ from repro.workloads.mpeg import MpegDecoder
 from repro.workloads.shortjobs import ShortJobFeeder
 
 __all__ = ["run_scenario", "build_machine", "COST_MODELS"]
-
-#: cost-model registry names accepted by ``Scenario.cost_model``
-COST_MODELS = {
-    "zero": ZERO_COST,
-    "testbed": TESTBED_COST,
-    "lmbench": LMBENCH_COST,
-}
 
 
 def _build_behavior(spec) -> Behavior:
@@ -101,6 +94,7 @@ def build_machine(
         quantum=scenario.quantum,
         cost_model=cost_model,
         sample_service=scenario.sample_service,
+        service_sample_interval=scenario.service_sample_interval,
         record_events=scenario.record_events,
         preempt_on_wake=scenario.preempt_on_wake,
         quantum_jitter=scenario.quantum_jitter,

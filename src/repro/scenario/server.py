@@ -1,0 +1,156 @@
+"""The "server" scenario preset family: high-N open-arrival workloads.
+
+The paper's evaluation (§4) uses small, hand-built populations — a few
+``Inf`` loops, one short-job feeder, an lmbench ring. Capacity studies
+in the spirit of Gunther's UNIX resource-manager work and multi-user
+multiprocessor fairness models need the opposite: *thousands* of tasks
+arriving as an open Poisson stream with heavy-tailed service demands
+and mixed weight classes, the shape of a consolidated server's request
+population.
+
+:func:`server_scenario` builds exactly that as plain declarative data —
+a :class:`~repro.scenario.spec.Scenario` whose task population is drawn
+from a seeded PRNG, so the same (n, seed) pair is bit-for-bit
+reproducible, picklable to sweep workers, and runnable under any
+registered scheduler:
+
+- **arrivals** are Poisson: exponential inter-arrival gaps at rate
+  ``lambda = load * cpus / mean_service``, so ``load`` is the offered
+  utilization of the machine;
+- **service demands** are bounded Pareto (shape ``pareto_shape``, mean
+  ``mean_service``, truncated at ``service_cap_factor * mean_service``)
+  — heavy-tailed, like real request populations: most jobs are short,
+  a few are enormous;
+- **weights** are drawn from named classes (default: 70% "std" weight
+  1, 20% "pro" weight 4, 10% "ent" weight 10), and tasks are named
+  ``<class>-<index>`` so per-class aggregate shares fall out of
+  ``result.group_service("pro-")``.
+
+The family is the scaling proving ground for the hot-path work: run it
+at N=5000 under the ``lmbench`` cost model and every accidentally-linear
+scan in the simulator shows up as a wall-clock cliff
+(``benchmarks/test_bench_scale.py`` tracks events/sec at
+N ∈ {100, 1000, 5000}).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.scenario.spec import Compute, Scenario, TaskSpec
+
+__all__ = ["SERVER_WEIGHT_CLASSES", "server_scenario", "class_shares"]
+
+#: default weight mix: (class name, weight, probability)
+SERVER_WEIGHT_CLASSES: tuple[tuple[str, float, float], ...] = (
+    ("std", 1.0, 0.70),
+    ("pro", 4.0, 0.20),
+    ("ent", 10.0, 0.10),
+)
+
+
+def server_scenario(
+    n_tasks: int,
+    cpus: int = 4,
+    scheduler: str = "sfs",
+    seed: int = 42,
+    load: float = 0.85,
+    mean_service: float = 0.05,
+    pareto_shape: float = 1.5,
+    service_cap_factor: float = 100.0,
+    weight_classes: tuple[tuple[str, float, float], ...] = SERVER_WEIGHT_CLASSES,
+    quantum: float = 0.05,
+    cost_model: str = "zero",
+    drain_factor: float = 1.5,
+    sample_service: bool = True,
+    service_sample_interval: float = 0.0,
+    record_events: bool = False,
+    metrics: tuple[str, ...] = (),
+) -> Scenario:
+    """Build one server-family scenario (pure data, deterministic).
+
+    Parameters
+    ----------
+    n_tasks:
+        Number of jobs in the open arrival stream (the family is
+        designed for 100 .. ~5000).
+    load:
+        Offered utilization of the machine (arrival rate is
+        ``load * cpus / mean_service``). Below 1.0 the system drains;
+        above 1.0 the runnable set grows without bound.
+    pareto_shape:
+        Tail index of the bounded-Pareto service distribution; must be
+        > 1 so the mean exists. Smaller = heavier tail.
+    drain_factor:
+        The run lasts ``drain_factor`` times the arrival window, giving
+        the backlog time to drain after the last arrival.
+    record_events:
+        Off by default — the GMS-replay event timeline is O(events) of
+        memory, which high-N runs rarely want.
+    """
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+    if load <= 0:
+        raise ValueError(f"load must be > 0, got {load}")
+    if mean_service <= 0:
+        raise ValueError(f"mean_service must be > 0, got {mean_service}")
+    if pareto_shape <= 1:
+        raise ValueError(
+            f"pareto_shape must be > 1 (finite mean), got {pareto_shape}"
+        )
+    if drain_factor < 1:
+        raise ValueError(f"drain_factor must be >= 1, got {drain_factor}")
+    probs = [p for _, _, p in weight_classes]
+    if not probs or abs(sum(probs) - 1.0) > 1e-9:
+        raise ValueError(
+            f"weight-class probabilities must sum to 1, got {probs}"
+        )
+
+    rng = random.Random(seed)
+    lam = load * cpus / mean_service
+    # Bounded Pareto: stdlib paretovariate (support [1, inf)) scaled so
+    # the *unbounded* mean is mean_service, then truncated. Truncation
+    # pulls the realized mean slightly below the target, which only
+    # nudges the effective load down — fine for a synthetic family.
+    scale = mean_service * (pareto_shape - 1.0) / pareto_shape
+    cap = service_cap_factor * mean_service
+    names = [name for name, _, _ in weight_classes]
+    weights = {name: w for name, w, _ in weight_classes}
+
+    specs: list[TaskSpec] = []
+    t = 0.0
+    for i in range(n_tasks):
+        t += rng.expovariate(lam)
+        demand = min(scale * rng.paretovariate(pareto_shape), cap)
+        cls = rng.choices(names, weights=probs)[0]
+        specs.append(
+            TaskSpec(
+                name=f"{cls}-{i:05d}",
+                weight=weights[cls],
+                behavior=Compute(demand),
+                at=t,
+            )
+        )
+    duration = t * drain_factor
+    return Scenario(
+        name=f"server-n{n_tasks}-{scheduler}-seed{seed}",
+        scheduler=scheduler,
+        cpus=cpus,
+        quantum=quantum,
+        cost_model=cost_model,
+        duration=duration,
+        tasks=tuple(specs),
+        metrics=metrics,
+        sample_service=sample_service,
+        service_sample_interval=service_sample_interval,
+        record_events=record_events,
+    )
+
+
+def class_shares(result, weight_classes=SERVER_WEIGHT_CLASSES) -> dict[str, float]:
+    """Aggregate machine share per weight class of a finished run."""
+    capacity = result.capacity()
+    return {
+        name: result.group_service(f"{name}-") / capacity
+        for name, _, _ in weight_classes
+    }

@@ -264,6 +264,13 @@ class Scenario:
     quantum_jitter: float = 0.0
     jitter_seed: int = 0
     sample_service: bool = True
+    #: when > 0, decimate per-task service curves to one point per this
+    #: many seconds. Totals and whole-window shares stay exact (each
+    #: task's final total is pinned as a point); mid-run curve shapes —
+    #: and therefore lag/starvation reports — become approximate. See
+    #: the Machine docs. Essential for high-N runs that would otherwise
+    #: record one point per event.
+    service_sample_interval: float = 0.0
     record_events: bool = True
     preempt_on_wake: bool = True
     max_time: float = 3600.0
@@ -307,6 +314,12 @@ class Scenario:
             raise ValueError(
                 "duration=None requires a self-terminating driver "
                 "(LatCtxRing); fixed populations need an explicit duration"
+            )
+        if self.service_sample_interval > 0 and "max_lag" in self.metrics:
+            raise ValueError(
+                "metric 'max_lag' reads mid-run service curves, which "
+                "service_sample_interval > 0 decimates; request it on an "
+                "undecimated run"
             )
 
     def with_(self, **overrides: Any) -> "Scenario":

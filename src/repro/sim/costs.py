@@ -37,6 +37,7 @@ __all__ = [
     "ZERO_COST",
     "TESTBED_COST",
     "LMBENCH_COST",
+    "COST_MODELS",
     "SYSCALL_OVERHEAD",
     "FORK_OVERHEAD",
     "EXEC_OVERHEAD",
@@ -98,6 +99,13 @@ class CostModel:
     #: every process still occupies scheduler bookkeeping state)
     decision_count_mode: str = "runnable"
 
+    def __post_init__(self) -> None:
+        if self.decision_count_mode not in ("runnable", "live"):
+            raise ValueError(
+                f"decision_count_mode must be 'runnable' or 'live', "
+                f"got {self.decision_count_mode!r}"
+            )
+
     def cache_restore_cost(self, footprint_kb: float) -> float:
         """Cache-restoration time for a process of the given size."""
         kb = max(0.0, footprint_kb)
@@ -131,3 +139,10 @@ TESTBED_COST = CostModel()
 #: Table 1 / Fig. 7 configuration: lmbench's processes are live but
 #: mostly blocked; overhead scales with the process count.
 LMBENCH_COST = CostModel(decision_count_mode="live")
+
+#: registry-name -> cost model, shared by the scenario layer and CLI
+COST_MODELS = {
+    "zero": ZERO_COST,
+    "testbed": TESTBED_COST,
+    "lmbench": LMBENCH_COST,
+}

@@ -74,6 +74,19 @@ class Machine:
         PRNG (``jitter_seed``) keeps runs reproducible. Zero disables.
         This matters: §4.3's short-jobs experiment is sensitive to the
         synchronization noise of the real testbed (see EXPERIMENTS.md).
+    service_sample_interval:
+        When > 0, decimate the per-task (time, cumulative service)
+        series: a new point is recorded only once at least this many
+        seconds have passed since the task's previous point. Totals
+        (``task.service``) stay exact, and each task's *final* total is
+        always pinned as a point (at exit / run_until settle), so
+        whole-window queries — end-of-run shares, Jain's index — stay
+        exact too; only *mid-run* curve reconstruction
+        (:func:`repro.sim.metrics.service_at` at interior times, lag and
+        starvation reports) becomes approximate, because several
+        run/block episodes may collapse into one inter-point delta.
+        0 (default) records every charge boundary, which keeps the
+        reconstruction exact everywhere.
     """
 
     def __init__(
@@ -89,6 +102,7 @@ class Machine:
         check_work_conserving: bool = False,
         quantum_jitter: float = 0.0,
         jitter_seed: int = 0,
+        service_sample_interval: float = 0.0,
     ) -> None:
         if cpus < 1:
             raise ValueError(f"need at least one CPU, got {cpus}")
@@ -98,6 +112,11 @@ class Machine:
             raise ValueError(
                 f"quantum_jitter must be in [0, 1), got {quantum_jitter}"
             )
+        if service_sample_interval < 0:
+            raise ValueError(
+                f"service_sample_interval must be >= 0, "
+                f"got {service_sample_interval}"
+            )
         self.engine = engine if engine is not None else Engine()
         self.scheduler = scheduler
         self.quantum = float(quantum)
@@ -105,6 +124,7 @@ class Machine:
         self._jitter_rng = random.Random(jitter_seed)
         self.cost_model = cost_model
         self.sample_service = sample_service
+        self.service_sample_interval = float(service_sample_interval)
         self.preempt_on_wake = preempt_on_wake
         self.check_work_conserving = check_work_conserving
         self.processors = [Processor(i) for i in range(cpus)]
@@ -113,6 +133,8 @@ class Machine:
         self._known: set[int] = set()  # tids the scheduler has seen
         self._added: set[int] = set()  # tids ever passed to add_task
         self._runnable: dict[int, Task] = {}  # RUNNABLE + RUNNING tasks
+        self._live_count = 0  # arrived, non-exited tasks (incremental)
+        self._proc_by_tid: dict[int, Processor] = {}  # RUNNING task -> CPU
         self._wake_handles: dict[int, EventHandle] = {}
         self._prev_task: dict[int, Task | None] = {p.cpu_id: None for p in self.processors}
         #: observers invoked as fn(task, now) when a task exits
@@ -139,8 +161,15 @@ class Machine:
 
     @property
     def live_count(self) -> int:
-        """Number of arrived, non-exited tasks (runnable or blocked)."""
-        return sum(1 for t in self.tasks if t.state is not TaskState.EXITED)
+        """Number of arrived, non-exited tasks (runnable or blocked).
+
+        Maintained incrementally (+1 on arrival, -1 on exit): this
+        property sits on the per-dispatch path under
+        ``decision_count_mode == "live"`` cost models, where a scan of
+        ``self.tasks`` would make long runs quadratic in the number of
+        tasks ever created.
+        """
+        return self._live_count
 
     def runnable_tasks(self) -> list[Task]:
         """Snapshot of runnable (incl. running) tasks, by tid."""
@@ -171,7 +200,16 @@ class Machine:
         self.engine.schedule_at(at, self.change_weight, task, weight)
 
     def change_weight(self, task: Task, weight: float) -> None:
-        """Change a task's weight immediately (on-the-fly, as §3.1 allows)."""
+        """Change a task's weight immediately (on-the-fly, as §3.1 allows).
+
+        A ``setweight()`` that fires after the task exited (e.g. a
+        Fig. 4-style script whose ``set_weight_at`` lands after a
+        ``kill_task_at``) is a no-op: mutating a dead task's weight —
+        or telling the scheduler about it — would hand schedulers a
+        task they have already retired.
+        """
+        if task.state is TaskState.EXITED:
+            return
         old = task.weight
         task.weight = weight
         if task.is_runnable:
@@ -200,12 +238,10 @@ class Machine:
             handle = self._wake_handles.pop(task.tid, None)
             if handle is not None:
                 handle.cancel()
-            task.state = TaskState.EXITED
-            task.exit_time = now
+            self._mark_exited(task, now)
             self._notify_exit(task, now)
         else:  # NEW — never arrived; nothing to clean up
-            task.state = TaskState.EXITED
-            task.exit_time = now
+            self._mark_exited(task, now)
             self._notify_exit(task, now)
 
     def signal(self, task: Task) -> None:
@@ -241,6 +277,14 @@ class Machine:
         for proc in self.processors:
             if proc.task is not None:
                 self._charge(proc, t_end)
+        if self.sample_service and self.service_sample_interval > 0:
+            # Decimation may have left stale series tails on tasks that
+            # are not on a CPU right now (queued or blocked backlog);
+            # pin every live task's exact total so whole-window queries
+            # stay exact. O(tasks) per run_until call, not per event.
+            for task in self.tasks:
+                if task.state is not TaskState.EXITED:
+                    self._ensure_final_sample(task, t_end)
 
     def total_capacity(self, t0: float, t1: float) -> float:
         """CPU-seconds the machine offers over [t0, t1)."""
@@ -251,9 +295,12 @@ class Machine:
     # ------------------------------------------------------------------
 
     def _arrive(self, task: Task) -> None:
+        if task.state is TaskState.EXITED:
+            return  # killed before arrival (kill_task_at < arrival time)
         now = self.now
         task.arrival_time = now
         self.tasks.append(task)
+        self._live_count += 1
         segment = task.behavior.start(now)
         if isinstance(segment, Run):
             task.remaining_run = segment.duration
@@ -267,8 +314,7 @@ class Machine:
             task.state = TaskState.BLOCKED
             self._schedule_wake(task, segment.duration)
         elif isinstance(segment, Exit):
-            task.state = TaskState.EXITED
-            task.exit_time = now
+            self._mark_exited(task, now)
             self._notify_exit(task, now)
         else:
             raise TypeError(f"bad initial segment {segment!r} from {task.name}")
@@ -284,8 +330,7 @@ class Machine:
             self._schedule_wake(task, segment.duration)
             return
         if isinstance(segment, Exit):
-            task.state = TaskState.EXITED
-            task.exit_time = now
+            self._mark_exited(task, now)
             self._notify_exit(task, now)
             return
         task.remaining_run = segment.duration
@@ -424,6 +469,7 @@ class Machine:
         self.trace.dispatches += 1
         proc.seq += 1
         proc.task = task
+        self._proc_by_tid[task.tid] = proc
         task.state = TaskState.RUNNING
         task.last_cpu = proc.cpu_id
         task.dispatch_count += 1
@@ -470,7 +516,13 @@ class Machine:
             task.remaining_run = max(0.0, task.remaining_run - delta)
         proc.charged_until = now
         if self.sample_service:
-            task.series.append((now, task.service))
+            series = task.series
+            if (
+                self.service_sample_interval <= 0.0
+                or not series
+                or now - series[-1][0] >= self.service_sample_interval
+            ):
+                series.append((now, task.service))
 
     def _vacate(self, proc: Processor) -> None:
         """Detach the current task from ``proc`` (after charging)."""
@@ -482,6 +534,7 @@ class Machine:
         proc.cancel_timers()
         proc.seq += 1
         self._prev_task[proc.cpu_id] = task
+        self._proc_by_tid.pop(task.tid, None)
         proc.task = None
 
     def _schedule_wake(self, task: Task, duration: float) -> None:
@@ -496,17 +549,36 @@ class Machine:
         for callback in self.on_task_exit:
             callback(task, now)
 
-    def _retire(self, task: Task, now: float, ran: float) -> None:
-        """Mark a runnable/running task as exited and notify the scheduler."""
+    def _ensure_final_sample(self, task: Task, now: float) -> None:
+        """Record the task's exact current service as a series point.
+
+        Decimation may have dropped the last charge's point; pinning the
+        final total here keeps whole-window queries (end-of-run shares,
+        Jain's index) exact even in decimated mode. A no-op when the
+        last point is already current.
+        """
+        series = task.series
+        if self.sample_service and series and series[-1][1] != task.service:
+            series.append((now, task.service))
+
+    def _mark_exited(self, task: Task, now: float) -> None:
+        """Transition to EXITED, maintaining the live-task counter."""
+        if task.arrival_time is not None:
+            self._live_count -= 1
         task.state = TaskState.EXITED
         task.exit_time = now
+        self._ensure_final_sample(task, now)
+
+    def _retire(self, task: Task, now: float, ran: float) -> None:
+        """Mark a runnable/running task as exited and notify the scheduler."""
+        self._mark_exited(task, now)
         self._runnable.pop(task.tid, None)
         self.trace.record(now, tracing.EXIT, task)
         self.scheduler.on_exit(task, now, ran)
         self._notify_exit(task, now)
 
     def _processor_of(self, task: Task) -> Processor:
-        for proc in self.processors:
-            if proc.task is task:
-                return proc
-        raise ValueError(f"{task.name} is not running on any CPU")
+        proc = self._proc_by_tid.get(task.tid)
+        if proc is None:
+            raise ValueError(f"{task.name} is not running on any CPU")
+        return proc

@@ -5,19 +5,23 @@ The first queue consists of all runnable threads in descending order of
 their weights. The other two queues consist of all runnable threads in
 increasing order of start tags and surplus values, respectively."*
 
-:class:`SortedTaskList` mirrors the kernel's doubly-linked sorted lists:
-insertion finds the position by binary search over cached keys (the
-kernel uses a linear walk; the paper notes both options in §3.2),
-removal is by identity, and :meth:`resort_insertion` re-sorts with
-insertion sort — the paper's choice because the list is *mostly sorted*
-after a virtual-time change recomputes every surplus. The number of
-comparisons each operation performs is counted so tests and benchmarks
-can verify the complexity claims of §3.2.
+:class:`SortedTaskList` mirrors the kernel's doubly-linked sorted lists
+but keeps every operation logarithmic: insertion finds the position by
+binary search over cached ``(key, tid)`` pairs (the kernel uses a linear
+walk; the paper notes both options in §3.2), and removal/membership
+locate the entry by binary search on the key cached at insertion time —
+the cached key stays valid even when the task's *live* key has drifted,
+which is exactly what makes O(log n) removal possible without an
+identity scan. :meth:`resort_insertion` re-sorts with insertion sort —
+the paper's choice because the list is *mostly sorted* after a
+virtual-time change recomputes every surplus. The number of comparisons
+each operation performs is counted so tests and benchmarks can verify
+the complexity claims of §3.2.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from typing import Callable, Iterator
 
 from repro.sim.task import Task
@@ -30,15 +34,21 @@ class SortedTaskList:
 
     Keys are cached at insertion time; if a task's key changes, call
     :meth:`reposition` (single task) or :meth:`resort_insertion` (bulk,
-    after recomputing every key) to restore order.
+    after recomputing every key) to restore order. A ``tid -> cached
+    key`` map makes :meth:`remove`, :meth:`discard`, :meth:`reposition`
+    and ``in`` O(log n): the cached key pins the entry's exact position
+    in the key array (tids are unique, so cached keys are too), and a
+    ``bisect`` lands on it directly.
     """
 
-    __slots__ = ("_key", "_keys", "_tasks", "comparisons")
+    __slots__ = ("_key", "_keys", "_tasks", "_cached_key", "comparisons")
 
     def __init__(self, key: Callable[[Task], float]) -> None:
         self._key = key
         self._keys: list[tuple[float, int]] = []
         self._tasks: list[Task] = []
+        #: tid -> the (key, tid) pair under which the task was inserted
+        self._cached_key: dict[int, tuple[float, int]] = {}
         #: cumulative comparison count (instrumentation for §3.2 claims)
         self.comparisons: int = 0
 
@@ -49,33 +59,41 @@ class SortedTaskList:
         return iter(self._tasks)
 
     def __contains__(self, task: Task) -> bool:
-        return any(t is task for t in self._tasks)
+        return task.tid in self._cached_key
 
     def add(self, task: Task) -> None:
         """Insert ``task`` at its sorted position (O(log n) search)."""
+        if task.tid in self._cached_key:
+            raise ValueError(f"{task!r} is already in the queue")
         k = (self._key(task), task.tid)
         idx = bisect_right(self._keys, k)
         self.comparisons += max(1, len(self._keys).bit_length())
         self._keys.insert(idx, k)
         self._tasks.insert(idx, task)
+        self._cached_key[task.tid] = k
+
+    def _locate(self, task: Task) -> int:
+        """Index of ``task``, found by bisect on its cached key."""
+        k = self._cached_key[task.tid]
+        idx = bisect_left(self._keys, k)
+        self.comparisons += max(1, len(self._keys).bit_length())
+        return idx
 
     def remove(self, task: Task) -> None:
-        """Remove ``task`` by identity. Raises ValueError if absent."""
-        for idx, t in enumerate(self._tasks):
-            self.comparisons += 1
-            if t is task:
-                del self._tasks[idx]
-                del self._keys[idx]
-                return
-        raise ValueError(f"{task!r} not in queue")
+        """Remove ``task`` (O(log n)). Raises ValueError if absent."""
+        if task.tid not in self._cached_key:
+            raise ValueError(f"{task!r} not in queue")
+        idx = self._locate(task)
+        del self._tasks[idx]
+        del self._keys[idx]
+        del self._cached_key[task.tid]
 
     def discard(self, task: Task) -> bool:
         """Remove ``task`` if present; return whether it was present."""
-        try:
-            self.remove(task)
-            return True
-        except ValueError:
+        if task.tid not in self._cached_key:
             return False
+        self.remove(task)
+        return True
 
     def reposition(self, task: Task) -> None:
         """Re-insert a task whose key changed (remove + add)."""
@@ -110,8 +128,11 @@ class SortedTaskList:
         """
         keys = self._keys
         tasks = self._tasks
+        cached = self._cached_key
         for i, task in enumerate(tasks):
-            keys[i] = (self._key(task), task.tid)
+            k = (self._key(task), task.tid)
+            keys[i] = k
+            cached[task.tid] = k
         moves = 0
         for i in range(1, len(tasks)):
             k = keys[i]

@@ -115,7 +115,11 @@ class Task:
         self.remaining_run: float = 0.0
         #: scheduler-private per-task state (tags, counters, ...)
         self.sched: dict[str, Any] = {}
-        #: sampled (time, cumulative service) points, if sampling enabled
+        #: sampled (time, cumulative service) points, if sampling enabled.
+        #: One point per charge boundary by default; under the machine's
+        #: decimated mode (``service_sample_interval > 0``) points are
+        #: dropped between intervals, so the curve is approximate while
+        #: ``self.service`` stays exact.
         self.series: list[tuple[float, float]] = []
         self.block_count: int = 0
         self.preempt_count: int = 0

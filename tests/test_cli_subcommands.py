@@ -120,6 +120,45 @@ class TestSweepSubcommand:
         assert "Traceback" not in err
 
 
+class TestServerSubcommand:
+    def test_runs_and_reports_throughput(self, capsys):
+        code = main([
+            "server", "--n", "50", "--scheduler", "sfs", "round-robin",
+            "--cost-model", "zero",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events/s" in out
+        assert out.strip().splitlines()[-1].startswith("round-robin")
+
+    def test_json_export(self, tmp_path, capsys):
+        code = main([
+            "server", "--n", "30", "--scheduler", "sfq",
+            "--json", str(tmp_path),
+        ])
+        assert code == 0
+        rows = json.loads((tmp_path / "server.json").read_text())
+        assert rows[0]["scheduler"] == "sfq"
+        assert rows[0]["events_per_sec"] > 0
+        assert {"share_std", "share_pro", "share_ent"} <= set(rows[0])
+
+    def test_csv_export(self, tmp_path, capsys):
+        code = main([
+            "server", "--n", "30", "--csv", str(tmp_path),
+        ])
+        assert code == 0
+        lines = (tmp_path / "server.csv").read_text().strip().splitlines()
+        assert lines[0].startswith("scheduler,")
+        assert len(lines) == 4  # header + default three schedulers
+
+    def test_bad_n_fails_cleanly(self, capsys):
+        code = main(["server", "--n", "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "n_tasks must be >= 1" in err
+        assert "Traceback" not in err
+
+
 class TestListSubcommand:
     def test_lists_experiments_and_schedulers(self, capsys):
         assert main(["list"]) == 0

@@ -132,6 +132,141 @@ class TestApiMisuse:
             t.weight = 0
 
 
+class TestDeadTaskGuards:
+    """Control operations landing on already-exited tasks (Fig. 4-style
+    scripts where a set_weight_at fires after a kill_task_at)."""
+
+    def test_set_weight_after_kill_is_a_noop(self):
+        m = machine()
+        t = add_inf(m, 4, "victim")
+        m.kill_task_at(t, 1.0)
+        m.set_weight_at(t, 99.0, 2.0)
+        m.run_until(3.0)
+        assert t.state is TaskState.EXITED
+        assert t.weight == 4  # the dead task's weight was not mutated
+
+    def test_change_weight_on_exited_does_not_notify_scheduler(self):
+        notified = []
+        m = machine()
+        t = add_inf(m, 2, "victim")
+        m.run_until(0.5)
+        m.kill_task(t)
+        orig = m.scheduler.on_weight_change
+        m.scheduler.on_weight_change = (
+            lambda *a, **k: notified.append(a) or orig(*a, **k)
+        )
+        m.change_weight(t, 7.0)
+        assert notified == []
+        assert t.weight == 2
+
+    def test_kill_before_arrival_prevents_arrival(self):
+        m = machine()
+        t = m.add_task(Task(Infinite(), weight=1, name="late"), at=2.0)
+        m.kill_task_at(t, 1.0)
+        m.run_until(3.0)
+        assert t.state is TaskState.EXITED
+        assert t.arrival_time is None
+        assert t not in m.tasks  # never resurrected by the arrival event
+        assert t.service == 0.0
+        assert m.live_count == 0
+
+    def test_signal_after_exit_is_a_noop(self):
+        m = machine()
+
+        def gen():
+            yield Run(0.1)
+
+        t = m.add_task(Task(GeneratorBehavior(gen()), weight=1, name="b"))
+        m.run_until(0.5)
+        assert t.state is TaskState.EXITED
+        m.signal(t)  # lost, like a condition variable with no waiter
+        m.run_until(1.0)
+        assert t.state is TaskState.EXITED
+
+    def test_double_kill_is_idempotent_for_live_count(self):
+        m = machine()
+        t = add_inf(m, 1, "once")
+        m.run_until(0.1)
+        m.kill_task(t)
+        m.kill_task(t)
+        assert m.live_count == 0
+
+
+class TestIncrementalAccounting:
+    """live_count is maintained incrementally; it must always equal the
+    O(n) scan it replaced."""
+
+    @staticmethod
+    def scan(m):
+        return sum(1 for t in m.tasks if t.state is not TaskState.EXITED)
+
+    def test_live_count_matches_scan_through_churn(self):
+        from repro.workloads.cpu_bound import FiniteCompute
+
+        m = machine(cpus=2, quantum=0.05)
+
+        def blinker():
+            while True:
+                yield Run(0.02)
+                yield Block(0.03)
+
+        tasks = []
+        for i in range(20):
+            if i % 3 == 0:
+                beh = GeneratorBehavior(blinker())
+            else:
+                beh = FiniteCompute(0.05 * (i % 5 + 1))
+            tasks.append(m.add_task(Task(beh, weight=1, name=f"c{i}"),
+                                    at=0.1 * i))
+        m.kill_task_at(tasks[0], 0.9)
+        m.kill_task_at(tasks[3], 1.7)
+        for stop in (0.5, 1.0, 1.5, 2.5, 5.0):
+            m.run_until(stop)
+            assert m.live_count == self.scan(m)
+
+    def test_live_count_counts_blocked_tasks(self):
+        m = machine()
+
+        def sleeper():
+            yield Block(math.inf)
+
+        t = m.add_task(Task(GeneratorBehavior(sleeper()), weight=1,
+                            name="s"))
+        m.run_until(0.1)
+        assert t.state is TaskState.BLOCKED
+        assert m.live_count == 1
+        m.kill_task(t)
+        assert m.live_count == 0
+
+    def test_immediate_exit_behavior_never_counts(self):
+        m = machine()
+        m.add_task(Task(GeneratorBehavior(iter([Exit()])), weight=1,
+                        name="e"))
+        m.run_until(0.5)
+        assert m.live_count == self.scan(m) == 0
+
+
+class TestServiceSampleDecimation:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            machine(service_sample_interval=-0.1)
+
+    def test_decimation_preserves_totals_and_schedule(self):
+        def build(interval):
+            m = machine(cpus=2, quantum=0.05,
+                        service_sample_interval=interval)
+            ts = [add_inf(m, w, f"w{w}") for w in (1, 2, 4)]
+            m.run_until(5.0)
+            return m, ts
+
+        m0, exact = build(0.0)
+        m1, decimated = build(1.0)
+        for a, b in zip(exact, decimated):
+            assert a.service == b.service  # identical scheduling
+            assert len(b.series) < len(a.series)  # but far fewer points
+        assert m0.engine.events_fired == m1.engine.events_fired
+
+
 class TestStress:
     def test_hundred_tasks_heavy_blocking_churn(self):
         m = machine(cpus=4, quantum=0.02, sample_service=False,

@@ -152,3 +152,105 @@ def test_property_random_removals_keep_order(ws, data):
         q.remove(victim)
     assert q.is_sorted()
     assert len(q) == len(tasks)
+
+
+class TestCachedKeyIndex:
+    """The tid -> cached-key map behind the O(log n) operations."""
+
+    def test_add_twice_raises(self):
+        q = SortedTaskList(key=lambda t: t.weight)
+        (task,) = make_tasks([1])
+        q.add(task)
+        with pytest.raises(ValueError):
+            q.add(task)
+
+    def test_remove_locates_by_stale_cached_key(self):
+        # The live key drifts after insertion; removal must still find
+        # the entry via the key cached at add() time.
+        q = SortedTaskList(key=lambda t: t.sched.get("x", 0))
+        tasks = make_tasks([1, 1, 1])
+        for i, t in enumerate(tasks):
+            t.sched["x"] = i
+            q.add(t)
+        tasks[1].sched["x"] = -99  # drift without reposition()
+        q.remove(tasks[1])
+        assert list(q) == [tasks[0], tasks[2]]
+        assert tasks[1] not in q
+
+    def test_contains_tracks_membership_through_churn(self):
+        q = SortedTaskList(key=lambda t: t.weight)
+        tasks = make_tasks([3, 1, 2])
+        for t in tasks:
+            q.add(t)
+        q.remove(tasks[0])
+        assert tasks[0] not in q and tasks[1] in q and tasks[2] in q
+        q.add(tasks[0])
+        assert tasks[0] in q
+
+    def test_remove_comparisons_are_logarithmic(self):
+        q = SortedTaskList(key=lambda t: t.weight)
+        tasks = make_tasks(range(1, 1025))
+        for t in tasks:
+            q.add(t)
+        before = q.comparisons
+        q.remove(tasks[512])  # mid-queue: a linear walk would pay ~512
+        assert q.comparisons - before <= 12  # ceil(log2(1024)) + slack
+
+    def test_resort_refreshes_cached_keys(self):
+        q = SortedTaskList(key=lambda t: t.sched.get("x", 0))
+        tasks = make_tasks([1] * 6)
+        for i, t in enumerate(tasks):
+            t.sched["x"] = i
+            q.add(t)
+        for i, t in enumerate(tasks):
+            t.sched["x"] = 6 - i
+        q.resort_insertion()
+        # Post-resort, removal by (new) cached key must still work for
+        # every element, in arbitrary order.
+        for t in tasks:
+            q.remove(t)
+        assert len(q) == 0
+
+
+@given(st.data())
+def test_property_model_based_ops_match_reference(data):
+    """Drive add/remove/discard/reposition/contains against a plain
+    sorted-list reference model; the queue must agree at every step."""
+    q = SortedTaskList(key=lambda t: t.sched.get("k", 0))
+    pool = make_tasks([1] * 8)
+    for i, t in enumerate(pool):
+        t.sched["k"] = i
+    model: list[Task] = []
+
+    def expect():
+        return sorted(model, key=lambda t: (t.sched["cached"], t.tid))
+
+    for _ in range(data.draw(st.integers(min_value=1, max_value=40))):
+        op = data.draw(st.sampled_from(["add", "remove", "discard",
+                                        "reposition", "contains"]))
+        task = data.draw(st.sampled_from(pool))
+        if op == "add" and task not in model:
+            task.sched["cached"] = task.sched["k"]
+            q.add(task)
+            model.append(task)
+        elif op == "remove":
+            if task in model:
+                q.remove(task)
+                model.remove(task)
+            else:
+                with pytest.raises(ValueError):
+                    q.remove(task)
+        elif op == "discard":
+            assert q.discard(task) is (task in model)
+            if task in model:
+                model.remove(task)
+        elif op == "reposition" and task in model:
+            task.sched["k"] = data.draw(
+                st.integers(min_value=-100, max_value=100)
+            )
+            task.sched["cached"] = task.sched["k"]
+            q.reposition(task)
+        elif op == "contains":
+            assert (task in q) is (task in model)
+        assert list(q) == expect()
+        assert len(q) == len(model)
