@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""CI perf-trend gate: diff a fresh BENCH_scale.json against the baseline.
+
+Usage (CI runs this right after the scale benchmark)::
+
+    python benchmarks/check_trend.py BENCH_scale.json
+    python benchmarks/check_trend.py BENCH_scale.json --update-baseline
+
+Exits non-zero — turning the (non-blocking) CI job red — when any
+(scheduler, N) cell's events/sec regressed more than ``--threshold``x
+against ``benchmarks/baseline_scale.json``, or when a baseline cell is
+missing from the fresh run. Writes a summary table to stdout and, when
+``$GITHUB_STEP_SUMMARY`` is set, to the workflow step summary.
+
+``--update-baseline`` rewrites the committed baseline from the fresh
+report instead of comparing — commit the result after intentional
+perf changes or when runner-generation drift turns the job red.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout (CI does), where src/ is not
+# installed into site-packages.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.analysis.trend import (  # noqa: E402
+    compare,
+    dump_baseline,
+    extract_cells,
+    load_baseline,
+    to_markdown,
+)
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline_scale.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="pytest-benchmark JSON from the scale bench")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="committed baseline file (default: benchmarks/baseline_scale.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="regression factor that turns the gate red (default: 2.0)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the fresh report instead of comparing",
+    )
+    parser.add_argument(
+        "--note",
+        default="",
+        help="free-form provenance note stored with --update-baseline",
+    )
+    args = parser.parse_args(argv)
+
+    fresh_cells = extract_cells(json.loads(Path(args.fresh).read_text()))
+    if not fresh_cells:
+        print(f"error: no scale-grid cells found in {args.fresh}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        dump_baseline(fresh_cells, args.baseline, note=args.note)
+        print(f"baseline updated: {args.baseline} ({len(fresh_cells)} cells)")
+        return 0
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(
+            f"error: baseline {baseline_path} not found; create it with "
+            "--update-baseline",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = compare(
+        load_baseline(baseline_path), fresh_cells, threshold=args.threshold
+    )
+    table = to_markdown(report)
+    print(table)
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(table + "\n")
+
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,7 +47,7 @@ def main() -> None:
     machine.run_until(60.0)
     share = (tasks[2].service - before) / 60.0  # of 2 CPUs over 30 s
     print(
-        f"\nafter setweight(batch, 6): batch's machine share becomes "
+        "\nafter setweight(batch, 6): batch's machine share becomes "
         f"{share:.1%} (requested 6/9 = 66.7% is infeasible on 2 CPUs; "
         "readjusted cap = 50%)"
     )

@@ -46,7 +46,6 @@ def main() -> None:
 
     machine.run_until(HORIZON)
 
-    capacity = machine.total_capacity(0.0, HORIZON)
     gold_used = sum(t.service for t in gold)
     bronze_used = sum(t.service for t in bronze)
 
@@ -63,7 +62,7 @@ def main() -> None:
     print(f"\ngold-http mean response: {1000 * gold_http.mean_response_time():.1f} ms "
           f"over {len(gold_http.responses)} requests")
     print(f"gold-stream frame rate:  {gold_stream.achieved_fps(5.0, HORIZON):.1f} fps "
-          f"(target 30)")
+          "(target 30)")
     print(f"bronze-http mean response: {1000 * bronze_http.mean_response_time():.1f} ms")
 
     assert gold_stream.achieved_fps(5.0, HORIZON) > 28.0, "isolation violated!"

@@ -24,6 +24,7 @@ from repro.core.sfs import SurplusFairScheduler
 from repro.core.sfs_heuristic import HeuristicSurplusFairScheduler
 from repro.core.tags import TaggedScheduler
 from repro.core.weights import (
+    ReadjustmentFrontier,
     is_feasible,
     readjust,
     readjust_sorted,
@@ -39,6 +40,7 @@ __all__ = [
     "FluidGMS",
     "HeuristicSurplusFairScheduler",
     "HierarchicalSurplusFairScheduler",
+    "ReadjustmentFrontier",
     "SchedulingClass",
     "SurplusFairScheduler",
     "TagArithmetic",

@@ -83,8 +83,10 @@ class SurplusFairScheduler(TaggedScheduler):
         #: dispatches that kept the CPU's previous thread thanks to the
         #: affinity bonus (instrumentation for the ablation bench)
         self.affinity_hits = 0
-        #: §3.1 queue 1: runnable threads by descending user weight
-        self.weight_queue = SortedTaskList(key=lambda t: -t.weight)
+        #: §3.1 queue 1 when readjustment is off; with readjustment on,
+        #: the ReadjustmentFrontier owns the descending-weight queue and
+        #: :attr:`weight_queue` aliases it (one structure, not two).
+        self._own_weight_queue = SortedTaskList(key=lambda t: -t.weight)
         #: §3.1 queue 3: runnable threads by ascending surplus
         self.surplus_queue = SortedTaskList(key=lambda t: t.sched["alpha"])
         self._in_queues: set[int] = set()
@@ -104,20 +106,41 @@ class SurplusFairScheduler(TaggedScheduler):
     # queue maintenance via TaggedScheduler extension points
     # ------------------------------------------------------------------
 
+    @property
+    def weight_queue(self) -> SortedTaskList:
+        """§3.1 queue 1: runnable threads by descending user weight.
+
+        Aliases the readjustment frontier's queue when readjustment is
+        on (the frontier keeps it sorted through weight changes); SFS
+        maintains its own copy only in the ``readjust=False`` ablation.
+        """
+        if self.frontier is not None:
+            return self.frontier.queue
+        return self._own_weight_queue
+
     def _runnable_set_changed(self, task: Task, now: float) -> None:
         runnable = task.tid in self._runnable
         if runnable and task.tid not in self._in_queues:
             task.sched["alpha"] = self.surplus_of(task)
-            self.weight_queue.add(task)
+            if self.frontier is None:
+                self._own_weight_queue.add(task)
             self.surplus_queue.add(task)
             self._in_queues.add(task.tid)
         elif not runnable and task.tid in self._in_queues:
-            self.weight_queue.discard(task)
+            if self.frontier is None:
+                self._own_weight_queue.discard(task)
             self.surplus_queue.discard(task)
             self._in_queues.discard(task.tid)
         # Readjustment may have changed phis, arrivals/departures moved
         # v: stored surpluses are stale until the next decision.
         self._surplus_dirty = True
+
+    def on_weight_change(self, task: Task, old_weight: float, now: float) -> None:
+        # The frontier repositions its queue itself; the ablation copy
+        # must be repositioned here or its cached sort order goes stale.
+        if self.frontier is None and task.tid in self._in_queues:
+            self._own_weight_queue.reposition(task)
+        super().on_weight_change(task, old_weight, now)
 
     def _tags_updated(self, task: Task, now: float) -> None:
         # A preemption advanced this task's start tag; its surplus grew.

@@ -15,10 +15,19 @@ surplus fair scheduling maintain per-thread *start tags* ``S_i`` and
 
 :class:`TaggedScheduler` implements all of this on top of the machine's
 hook points, maintains the start-tag-sorted queue (one of the paper's
-three queues, §3.1), optionally runs the §2.1 weight readjustment at
-every runnable-set change, and optionally uses kernel-style fixed-point
-tag arithmetic with wrap-around rebasing (§3.2). Concrete policies
-(SFQ's min-start-tag rule, SFS's min-surplus rule) subclass it.
+three queues, §3.1), optionally maintains the §2.1 weight readjustment
+at every runnable-set change, and optionally uses kernel-style
+fixed-point tag arithmetic with wrap-around rebasing (§3.2). Concrete
+policies (SFQ's min-start-tag rule, SFS's min-surplus rule) subclass it.
+
+Readjustment is driven *incrementally*: instead of re-running the full
+descending-weight scan over the whole runnable set per event (O(n) —
+the dominant cost at high N once the runqueues went logarithmic), the
+scheduler feeds runnable-set deltas to a
+:class:`~repro.core.weights.ReadjustmentFrontier`, which repairs the
+cap point in O(log n + p) per event and produces bit-identical ``phi``
+values to the batch oracle (:meth:`TaggedScheduler.verify_readjustment`
+asserts this; so do the hypothesis model tests).
 """
 
 from __future__ import annotations
@@ -26,7 +35,7 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.core.fixed_point import FloatTags, TagArithmetic
-from repro.core.weights import readjust_tasks
+from repro.core.weights import ReadjustmentFrontier, readjust
 from repro.sim.runqueue import SortedTaskList
 from repro.sim.scheduler import Scheduler
 from repro.sim.task import Task, TaskState
@@ -40,10 +49,11 @@ class TaggedScheduler(Scheduler):
     Parameters
     ----------
     readjust:
-        Run the §2.1 weight readjustment algorithm at every arrival,
-        departure, block, wakeup and weight change, maintaining
-        ``task.phi``. SFS always enables this; for the GPS baselines it
-        is the experiment knob of Fig. 4.
+        Maintain the §2.1 weight readjustment at every arrival,
+        departure, block, wakeup and weight change (incrementally, via
+        the feasibility frontier), keeping ``task.phi`` current. SFS
+        always enables this; for the GPS baselines it is the experiment
+        knob of Fig. 4.
     tag_math:
         Tag arithmetic strategy (float reference or kernel fixed point).
     wake_preempt:
@@ -61,6 +71,8 @@ class TaggedScheduler(Scheduler):
     ) -> None:
         super().__init__()
         self.readjust = readjust
+        #: incremental §2.1 frontier (created at attach; needs num_cpus)
+        self.frontier: ReadjustmentFrontier | None = None
         self.tags: TagArithmetic = tag_math if tag_math is not None else FloatTags()
         self.wake_preempt = wake_preempt
         #: runnable tasks (RUNNABLE + RUNNING), sorted by start tag
@@ -73,6 +85,11 @@ class TaggedScheduler(Scheduler):
         self._last_finish = self.tags.zero
         #: count of rebase operations performed (wrap-around handling)
         self.rebase_count = 0
+
+    def attach(self, machine) -> None:
+        super().attach(machine)
+        if self.readjust:
+            self.frontier = ReadjustmentFrontier(machine.num_cpus)
 
     # ------------------------------------------------------------------
     # virtual time
@@ -100,29 +117,32 @@ class TaggedScheduler(Scheduler):
         self._refresh_vtime()
         task.sched["S"] = self._vtime
         task.sched["F"] = self._vtime
-        if not self.readjust:
-            task.phi = task.weight
         self._runnable[task.tid] = task
         self._tagged[task.tid] = task
         self.start_queue.add(task)
-        self._apply_readjustment()
+        if self.frontier is not None:
+            self.frontier.add(task)
+        else:
+            task.phi = task.weight
         self._runnable_set_changed(task, now)
 
     def on_wakeup(self, task: Task, now: float) -> None:
         self._refresh_vtime()
         s = task.sched.get("F", self._vtime)
         task.sched["S"] = max(s, self._vtime)
-        if not self.readjust:
-            task.phi = task.weight
         self._runnable[task.tid] = task
         self.start_queue.add(task)
-        self._apply_readjustment()
+        if self.frontier is not None:
+            self.frontier.add(task)
+        else:
+            task.phi = task.weight
         self._runnable_set_changed(task, now)
 
     def on_block(self, task: Task, now: float, ran: float) -> None:
         self._finish_quantum(task, ran)
         self._remove_runnable(task)
-        self._apply_readjustment()
+        if self.frontier is not None:
+            self.frontier.remove(task)
         self._runnable_set_changed(task, now)
 
     def on_exit(self, task: Task, now: float, ran: float) -> None:
@@ -130,7 +150,8 @@ class TaggedScheduler(Scheduler):
             self._finish_quantum(task, ran)
         self._remove_runnable(task)
         self._tagged.pop(task.tid, None)
-        self._apply_readjustment()
+        if self.frontier is not None:
+            self.frontier.remove(task)
         self._runnable_set_changed(task, now)
 
     def on_preempt(self, task: Task, now: float, ran: float) -> None:
@@ -142,10 +163,13 @@ class TaggedScheduler(Scheduler):
         self._tags_updated(task, now)
 
     def on_weight_change(self, task: Task, old_weight: float, now: float) -> None:
-        if not self.readjust:
+        if self.frontier is None:
             task.phi = task.weight
         if task.is_runnable:
-            self._apply_readjustment()
+            if self.frontier is not None:
+                # Blocked tasks are not frontier members; their phi is
+                # re-derived on wakeup from the then-current weight.
+                self.frontier.reweight(task, old_weight)
             self._runnable_set_changed(task, now)
 
     # ------------------------------------------------------------------
@@ -163,12 +187,23 @@ class TaggedScheduler(Scheduler):
         self.start_queue.discard(task)
         self._maybe_rebase()
 
-    def _apply_readjustment(self) -> None:
-        """Re-run §2.1 readjustment over the runnable set (if enabled)."""
-        if not self.readjust or self.machine is None:
+    def verify_readjustment(self) -> None:
+        """Assert frontier phis equal the batch §2.1 oracle (test hook).
+
+        Runs :func:`repro.core.weights.readjust` over a snapshot of the
+        runnable weights — without touching any task — and demands
+        bit-identical agreement with the incrementally maintained phis.
+        """
+        if self.frontier is None or self.machine is None:
             return
         tasks = list(self._runnable.values())
-        readjust_tasks(tasks, self.machine.num_cpus)
+        expected = readjust([t.weight for t in tasks], self.machine.num_cpus)
+        for task, phi in zip(tasks, expected):
+            if task.phi != phi:
+                raise AssertionError(
+                    "frontier phi diverged from batch oracle for "
+                    f"{task.name}: {task.phi!r} != {phi!r}"
+                )
 
     def _maybe_rebase(self) -> None:
         """Wrap-around handling (§3.2): shift all tags down by min S."""

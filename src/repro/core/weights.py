@@ -39,7 +39,7 @@ For ``t == p`` the paper's recursion already does the right thing
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.task import Task
@@ -52,6 +52,7 @@ __all__ = [
     "readjust",
     "readjust_tasks",
     "waterfill_shares",
+    "ReadjustmentFrontier",
 ]
 
 #: relative slack used when testing Eq. 1 so that shares lying exactly on
@@ -62,6 +63,74 @@ _REL_TOL = 1e-9
 def _violates(weight: float, total: float, p: int) -> bool:
     """Does ``weight`` request more than 1/p of ``total``? (Eq. 1)."""
     return weight * p > total * (1.0 + _REL_TOL)
+
+
+class _ExactWeightSum:
+    """Exact running sum of floats, as the dyadic rational ``num / 2**shift``.
+
+    Every finite float is a dyadic rational, so a sum of floats is
+    exactly representable this way with integer arithmetic. The point of
+    carrying the sum exactly is *order independence*: converting back to
+    float is correctly rounded, so two histories that reach the same
+    multiset of weights — a batch pass summing a sorted list versus an
+    incremental frontier adding and removing one weight at a time —
+    yield bit-identical totals, and therefore bit-identical adjusted
+    ``phi`` values. A naive float accumulator would drift with the event
+    history and break golden-output reproducibility.
+    """
+
+    __slots__ = ("num", "shift")
+
+    def __init__(self) -> None:
+        self.num = 0  #: integer numerator
+        self.shift = 0  #: value is num / 2**shift
+
+    def _merge(self, n: int, s: int) -> None:
+        if s > self.shift:
+            self.num <<= s - self.shift
+            self.shift = s
+        elif s < self.shift:
+            n <<= self.shift - s
+        self.num += n
+        if self.num == 0:
+            self.shift = 0
+        elif self.shift:
+            # Strip common powers of two to keep the integers small.
+            trailing = (self.num & -self.num).bit_length() - 1
+            drop = min(trailing, self.shift)
+            if drop:
+                self.num >>= drop
+                self.shift -= drop
+
+    @staticmethod
+    def _dyadic(x: float) -> tuple[int, int]:
+        num, den = float(x).as_integer_ratio()
+        return num, den.bit_length() - 1  # den is a power of two
+
+    def add(self, x: float) -> None:
+        n, s = self._dyadic(x)
+        self._merge(n, s)
+
+    def sub(self, x: float) -> None:
+        n, s = self._dyadic(x)
+        self._merge(-n, s)
+
+    def as_float(self) -> float:
+        # int / int true division is correctly rounded in Python.
+        return self.num / (1 << self.shift)
+
+    def copy(self) -> "_ExactWeightSum":
+        out = _ExactWeightSum()
+        out.num = self.num
+        out.shift = self.shift
+        return out
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "_ExactWeightSum":
+        out = cls()
+        for x in values:
+            out.add(x)
+        return out
 
 
 def is_feasible(weights: Sequence[float], p: int) -> bool:
@@ -106,10 +175,12 @@ def _equalize(w: list[float]) -> list[float]:
     """Degenerate ``t < p`` case (see module docstring): every thread
     holds a full processor; equal instantaneous weights express that.
     Already-equal inputs are returned unchanged so the map is exactly
-    idempotent (a recomputed mean can differ by an ulp)."""
+    idempotent. The mean is taken over the *exact* total so that the
+    incremental frontier — which reaches the same runnable set by a
+    different event history — computes the identical float."""
     if all(x == w[0] for x in w):
         return list(w)
-    mean = sum(w) / len(w)
+    mean = _ExactWeightSum.of(w).as_float() / len(w)
     return [mean] * len(w)
 
 
@@ -166,16 +237,19 @@ def readjust_sorted_iterative(weights: Sequence[float], p: int) -> list[float]:
         return w
     if t < p:
         return _equalize(w)
-    # Suffix sums of the original weights: suffix[i] = sum(w[i:]).
-    suffix = [0.0] * (t + 1)
-    for i in range(t - 1, -1, -1):
-        suffix[i] = suffix[i + 1] + w[i]
-    # Find k = number of adjusted threads (scan while violating).
+    # Scan while violating, peeling each violator off the exact suffix
+    # sum. suffix_k = sum(w[k:]) carried exactly — the float handed to
+    # the Eq. 1 test is correctly rounded and therefore independent of
+    # summation order, which keeps this batch oracle bit-identical to
+    # the incremental ReadjustmentFrontier.
+    remaining = _ExactWeightSum.of(w)
     k = 0
-    while k < min(p - 1, t) and _violates(w[k], suffix[k], p - k):
+    limit = min(p - 1, t)
+    while k < limit and _violates(w[k], remaining.as_float(), p - k):
+        remaining.sub(w[k])
         k += 1
     if k:
-        adjusted = suffix[k] / (p - k)
+        adjusted = remaining.as_float() / (p - k)
         for i in range(k):
             w[i] = adjusted
     return w
@@ -251,10 +325,14 @@ def waterfill_shares(
 def readjust_tasks(tasks: Sequence["Task"], p: int) -> list["Task"]:
     """Recompute the instantaneous weight ``phi`` of each runnable task.
 
-    This is the entry point the schedulers call at every arrival,
-    departure, block, wakeup and weight change (§3.1). Reads
-    ``task.weight`` (the user assignment, never modified) and writes
-    ``task.phi``. Returns the tasks whose ``phi`` changed.
+    The batch form of §3.1's readjustment hook: reads ``task.weight``
+    (the user assignment, never modified) and writes ``task.phi``.
+    Returns the tasks whose ``phi`` changed. The tag-based schedulers
+    now maintain the same mapping incrementally via
+    :class:`ReadjustmentFrontier`; this batch pass is kept as the
+    reference oracle (property tests assert bit-identical agreement)
+    and for the simple schedulers whose event rates don't warrant the
+    incremental machinery.
     """
     if not tasks:
         return []
@@ -266,3 +344,205 @@ def readjust_tasks(tasks: Sequence["Task"], p: int) -> list["Task"]:
             task.phi = phi
             changed.append(task)
     return changed
+
+
+class ReadjustmentFrontier:
+    """Incrementally maintained §2.1 feasibility frontier.
+
+    The batch algorithm re-scans the whole runnable set on every
+    arrival, block, wakeup, exit and weight change, yet only ever caps
+    the ``k <= p - 1`` heaviest threads (the *frontier*). This object
+    keeps that frontier repaired across runnable-set deltas instead:
+
+    - ``queue`` — the §3.1 descending-weight queue (O(log n) ops);
+    - an exact running total of member weights (order-independent, see
+      :class:`_ExactWeightSum`), so the cap value ``S / (p - k)`` comes
+      out bit-identical to the batch oracle's;
+    - the current capped set and whether the degenerate ``t < p``
+      equal-share mode is active.
+
+    Each mutation costs one sorted-queue operation (O(log n)) plus a
+    repair that touches at most O(p) threads — the scan examines only
+    the ``min(p - 1, t)`` heaviest members, and only capped threads
+    (plus the touched one) can change ``phi``. When the assignment was
+    and remains feasible — the common case at load < 1 — the repair
+    collapses to a single head-of-queue Eq. 1 test and no ``phi``
+    write at all (``fast_skips`` counts these).
+
+    Invariants (checked by the hypothesis model tests):
+
+    - every member's ``phi`` equals what ``readjust_tasks`` over the
+      current membership would assign, bit for bit;
+    - at most ``p - 1`` members are capped when ``t >= p``;
+    - repair is idempotent (:meth:`refresh` changes nothing).
+    """
+
+    __slots__ = (
+        "p",
+        "queue",
+        "_total",
+        "_capped",
+        "_equalized",
+        "repairs",
+        "fast_skips",
+        "phi_writes",
+        "scan_steps",
+    )
+
+    def __init__(self, p: int) -> None:
+        if p < 1:
+            raise ValueError(f"processor count must be >= 1, got {p}")
+        from repro.sim.runqueue import SortedTaskList
+
+        self.p = p
+        #: §3.1 queue 1: members in descending user-weight order
+        self.queue = SortedTaskList(key=lambda t: -t.weight)
+        self._total = _ExactWeightSum()
+        #: tid -> task currently holding a capped phi
+        self._capped: dict[int, "Task"] = {}
+        #: degenerate t < p equal-share mode active
+        self._equalized = False
+        #: instrumentation: full frontier repairs performed
+        self.repairs = 0
+        #: instrumentation: repairs skipped by the feasible fast path
+        self.fast_skips = 0
+        #: instrumentation: phi values actually changed
+        self.phi_writes = 0
+        #: instrumentation: violation tests consumed by frontier scans
+        self.scan_steps = 0
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def __contains__(self, task: "Task") -> bool:
+        return task in self.queue
+
+    def __iter__(self) -> Iterator["Task"]:
+        return iter(self.queue)
+
+    @property
+    def capped_count(self) -> int:
+        """Number of members currently holding a capped ``phi``."""
+        return len(self._capped)
+
+    def capped_tasks(self) -> list["Task"]:
+        """Snapshot of the capped members, heaviest first."""
+        return [t for t in self.queue.peek_n(self.p - 1) if t.tid in self._capped]
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+
+    def add(self, task: "Task") -> None:
+        """A task joined the runnable set; assign its phi, repair caps."""
+        if task.weight <= 0:
+            raise ValueError(f"weights must be > 0, got {task.weight}")
+        self.queue.add(task)
+        self._total.add(task.weight)
+        self._repair(task)
+
+    def remove(self, task: "Task") -> None:
+        """A task left the runnable set; release its cap, repair."""
+        self.queue.remove(task)
+        self._capped.pop(task.tid, None)
+        if not len(self.queue):
+            # Reset rather than subtract down to zero: sheds any bigint
+            # growth in the exact accumulator between busy periods.
+            self._total = _ExactWeightSum()
+            self._capped.clear()
+            self._equalized = False
+            return
+        self._total.sub(task.weight)
+        self._repair(None)
+
+    def reweight(self, task: "Task", old_weight: float) -> None:
+        """A member's user weight changed from ``old_weight`` in place."""
+        if task.weight <= 0:
+            raise ValueError(f"weights must be > 0, got {task.weight}")
+        self.queue.reposition(task)
+        self._total.sub(old_weight)
+        self._total.add(task.weight)
+        self._repair(task)
+
+    def refresh(self) -> None:
+        """Rebuild the exact total and force a full repair.
+
+        Maintenance is exact, so this never changes anything — tests
+        call it to assert exactly that (repair idempotence).
+        """
+        self._total = _ExactWeightSum.of([t.weight for t in self.queue])
+        if len(self.queue):
+            self._repair(None, force=True)
+
+    # ------------------------------------------------------------------
+    # the repair
+    # ------------------------------------------------------------------
+
+    def _set_phi(self, task: "Task", phi: float) -> None:
+        if task.phi != phi:
+            task.phi = phi
+            self.phi_writes += 1
+
+    def _equalize_members(self) -> None:
+        """t < p: every member can hold a full processor (equal shares)."""
+        self.repairs += 1
+        self._capped.clear()
+        self._equalized = True
+        head = self.queue.head()
+        tail = self.queue.peek_tail_n(1)[0]
+        if head.weight == tail.weight:
+            # All equal: the batch map returns the input unchanged.
+            for task in self.queue:
+                self._set_phi(task, task.weight)
+        else:
+            mean = self._total.as_float() / len(self.queue)
+            for task in self.queue:
+                self._set_phi(task, mean)
+
+    def _repair(self, touched: "Task | None", force: bool = False) -> None:
+        t = len(self.queue)
+        p = self.p
+        if t < p:
+            self._equalize_members()
+            return
+        if self._equalized:
+            # Leaving equal-share mode: restore phi = weight everywhere
+            # before re-deriving the caps (t just crossed p, so O(p)).
+            for task in self.queue:
+                self._set_phi(task, task.weight)
+            self._equalized = False
+            self._capped.clear()
+        elif not self._capped and not force:
+            # Feasible before this delta; one Eq. 1 test on the heaviest
+            # member decides whether it stayed feasible (common case).
+            if not _violates(self.queue.head().weight, self._total.as_float(), p):
+                if touched is not None:
+                    self._set_phi(touched, touched.weight)
+                self.fast_skips += 1
+                return
+        self.repairs += 1
+        top = self.queue.peek_n(min(p - 1, t))
+        remaining = self._total.copy()
+        k = 0
+        while k < len(top) and _violates(
+            top[k].weight, remaining.as_float(), p - k
+        ):
+            remaining.sub(top[k].weight)
+            k += 1
+            self.scan_steps += 1
+        capped = top[:k]
+        capped_ids = {task.tid for task in capped}
+        for tid in [tid for tid in self._capped if tid not in capped_ids]:
+            dropped = self._capped.pop(tid)
+            self._set_phi(dropped, dropped.weight)
+        if k:
+            adjusted = remaining.as_float() / (p - k)
+            for task in capped:
+                self._set_phi(task, adjusted)
+                self._capped[task.tid] = task
+        if touched is not None and touched.tid not in capped_ids:
+            self._set_phi(touched, touched.weight)

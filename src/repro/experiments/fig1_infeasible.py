@@ -124,9 +124,9 @@ def render(result: Fig1Result) -> str:
     lines = [
         f"Figure 1 / Example 1 under {result.scheduler}",
         f"  start tags when T3 arrives: S1={s1:.1f}  S2={s2:.1f}  "
-        f"(paper: S1=1000q, S2=100q in units of q/w)",
+        "(paper: S1=1000q, S2=100q in units of q/w)",
         f"  T3 initialized at S3={result.s3_initial:.1f} (the minimum tag)",
-        f"  T1 longest starvation after T3's arrival: "
+        "  T1 longest starvation after T3's arrival: "
         f"{result.t1_starvation:.3f} s "
         f"(paper: ~900 quanta = {900 * QUANTUM:.1f} s under plain SFQ)",
         "",

@@ -157,7 +157,7 @@ def render(result: Fig5Result) -> str:
         "  group shares (ideal 0.444 : 0.444 : 0.111):",
         f"    T1={share['T1']:.3f}  T2-21={share['T2-21']:.3f}  "
         f"T_short={share['T_short']:.3f}",
-        f"  ratio T1 : T2-21 : T_short = "
+        "  ratio T1 : T2-21 : T_short = "
         f"{ratio[0] / base:.2f} : {ratio[1] / base:.2f} : 1  (ideal 4 : 4 : 1)",
         f"  short jobs completed: {result.short_jobs_completed}",
         "",

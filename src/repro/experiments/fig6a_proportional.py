@@ -95,7 +95,7 @@ def run(
 def render(result: Fig6aResult) -> str:
     lines = [
         f"Figure 6(a) — dhrystone loop rates under {result.scheduler} "
-        f"(20 background dhrystones, weight 1 each)",
+        "(20 background dhrystones, weight 1 each)",
     ]
     bars: dict[str, float] = {}
     for pair, (r1, r2) in result.rates.items():

@@ -24,7 +24,6 @@ from repro.scenario.spec import (
     Scenario,
     SetWeight,
     ShortJobs,
-    TaskSpec,
 )
 from repro.schedulers.registry import make_scheduler
 from repro.sim.costs import COST_MODELS
@@ -163,7 +162,7 @@ def run_scenario(scenario: Scenario) -> SimulationResult:
         while not all(r.done for r in rings):
             if machine.now >= scenario.max_time:
                 raise RuntimeError(
-                    f"drivers did not finish within "
+                    "drivers did not finish within "
                     f"max_time={scenario.max_time}"
                 )
             if not machine.engine.step():

@@ -129,7 +129,7 @@ def run_sweep(sweep: Sweep, workers: int | None = None) -> list[SweepCell]:
         # pool can also mean a genuinely crashing worker (e.g. OOM).
         warnings.warn(
             f"process pool unavailable ({exc!r}); re-running the sweep "
-            f"serially in-process",
+            "serially in-process",
             RuntimeWarning,
             stacklevel=2,
         )

@@ -16,7 +16,7 @@ import random
 
 from repro.schedulers.simple import SimpleQueueScheduler
 from repro.sim.costs import DecisionCostParams
-from repro.sim.task import Task, TaskState
+from repro.sim.task import Task
 
 __all__ = ["LotteryScheduler"]
 

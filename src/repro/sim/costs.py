@@ -102,7 +102,7 @@ class CostModel:
     def __post_init__(self) -> None:
         if self.decision_count_mode not in ("runnable", "live"):
             raise ValueError(
-                f"decision_count_mode must be 'runnable' or 'live', "
+                "decision_count_mode must be 'runnable' or 'live', "
                 f"got {self.decision_count_mode!r}"
             )
 

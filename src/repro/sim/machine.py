@@ -114,7 +114,7 @@ class Machine:
             )
         if service_sample_interval < 0:
             raise ValueError(
-                f"service_sample_interval must be >= 0, "
+                "service_sample_interval must be >= 0, "
                 f"got {service_sample_interval}"
             )
         self.engine = engine if engine is not None else Engine()
@@ -211,6 +211,14 @@ class Machine:
         if task.state is TaskState.EXITED:
             return
         old = task.weight
+        if weight == old:
+            # No-op setweight: the assignment (and hence any
+            # readjustment result) is unchanged, so skip the scheduler
+            # notification and its frontier repair. Still recorded, so
+            # GMS-oracle replay sees the same event stream.
+            if task.is_runnable:
+                self.trace.record(self.now, tracing.WEIGHT, task)
+            return
         task.weight = weight
         if task.is_runnable:
             self.trace.record(self.now, tracing.WEIGHT, task)

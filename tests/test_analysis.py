@@ -1,6 +1,5 @@
 """Tests for the analysis package: fairness, charts, tables, CSV, series."""
 
-import os
 
 import pytest
 

@@ -64,8 +64,11 @@ class TestSweepSubcommand:
         out = capsys.readouterr().out
         assert "sweep: 6 cells" in out
         # deterministic scheduler-major ordering
-        lines = [l for l in out.splitlines() if l.startswith(("sfs", "sfq", "stride"))]
-        assert [l.split()[0] for l in lines] == [
+        lines = [
+            row for row in out.splitlines()
+            if row.startswith(("sfs", "sfq", "stride"))
+        ]
+        assert [row.split()[0] for row in lines] == [
             "sfs", "sfs", "sfq", "sfq", "stride", "stride",
         ]
 

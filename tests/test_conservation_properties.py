@@ -16,7 +16,7 @@ from repro.core.sfs import SurplusFairScheduler
 from repro.core.sfs_heuristic import HeuristicSurplusFairScheduler
 from repro.schedulers.linux_ts import LinuxTimeSharingScheduler
 from repro.schedulers.sfq import StartTimeFairScheduler
-from repro.sim.events import Block, Exit, Run
+from repro.sim.events import Block, Run
 from repro.sim.machine import Machine
 from repro.sim.task import Task, TaskState
 from repro.workloads.base import GeneratorBehavior

@@ -134,7 +134,7 @@ class TestWrapAround:
             yield Run(math.inf)
 
         sleeper = m.add_task(Task(GeneratorBehavior(gen()), weight=1, name="s"))
-        hog = add_inf(m, 1, "hog")
+        add_inf(m, 1, "hog")
         m.run_until(35.0)
         assert sched.rebase_count > 0
         # The woken sleeper's tag must be near the (rebased) virtual

@@ -22,7 +22,8 @@ class TestRunIntervals:
 
     def test_intervals_cover_busy_time(self):
         m = Machine(SurplusFairScheduler(), cpus=2, quantum=0.2)
-        tasks = [add_inf(m, 1, f"T{i}") for i in range(3)]
+        for i in range(3):
+            add_inf(m, 1, f"T{i}")
         m.run_until(2.0)
         # Vacated intervals plus currently-running partials cover the
         # busy time; completed intervals alone cover most of it.

@@ -69,7 +69,8 @@ class TestMixedWorkload:
         m.add_task(Task(dec, weight=2, name="A-stream"))
         m.add_task(Task(CompileJob(random.Random(1)), weight=1, name="A-gcc"))
         # Domain B (weight 1): batch hogs.
-        hogs = [add_inf(m, 0.5, f"B-hog{i}") for i in range(2)]
+        for i in range(2):
+            add_inf(m, 0.5, f"B-hog{i}")
         m.run_until(30.0)
         # The decoder needs 0.6 CPUs and is entitled to 1.0: full rate.
         assert dec.achieved_fps(5.0, 30.0) == pytest.approx(30.0, abs=2.0)

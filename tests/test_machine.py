@@ -7,12 +7,10 @@ import pytest
 
 from tests.conftest import add_finite, add_inf
 from repro.core.sfs import SurplusFairScheduler
-from repro.schedulers.round_robin import RoundRobinScheduler
 from repro.sim.events import Block, Exit, Run
 from repro.sim.machine import Machine
 from repro.sim.task import Task, TaskState
-from repro.workloads.base import Behavior, GeneratorBehavior
-from repro.workloads.cpu_bound import FiniteCompute, Infinite
+from repro.workloads.base import GeneratorBehavior
 
 
 def make_machine(cpus=2, quantum=0.2, **kw) -> Machine:
@@ -318,7 +316,7 @@ class TestWeightChange:
     def test_change_weight_rebalances_allocation(self):
         m = make_machine(cpus=1, quantum=0.05)
         a = add_inf(m, 1, "A")
-        b = add_inf(m, 1, "B")
+        add_inf(m, 1, "B")
         m.run_until(5.0)
         before_a = a.service
         m.change_weight(a, 4.0)

@@ -5,7 +5,6 @@ import pytest
 from tests.conftest import add_inf
 from repro.core.sfs import SurplusFairScheduler
 from repro.sim.costs import (
-    CostModel,
     DecisionCostParams,
     LMBENCH_COST,
     TESTBED_COST,

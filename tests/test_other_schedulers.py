@@ -88,7 +88,8 @@ class TestRoundRobin:
     def test_rotation_order_is_fifo(self):
         sched = RoundRobinScheduler()
         m = Machine(sched, cpus=1, quantum=0.1)
-        tasks = [add_inf(m, 1, f"T{i}") for i in range(3)]
+        for i in range(3):
+            add_inf(m, 1, f"T{i}")
         picks = []
         orig = sched.pick_next
 
@@ -144,7 +145,6 @@ class TestBVT:
         )
 
     def test_warped_thread_gets_priority_on_wakeup(self):
-        import math
         from repro.sim.events import Block, Run
         from repro.workloads.base import GeneratorBehavior
 

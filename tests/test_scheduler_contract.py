@@ -127,7 +127,7 @@ def test_proportional_policies_track_weights_uniprocessor(name):
     """Every proportional-share policy gives 1:3 within tolerance on a
     uniprocessor (lottery gets statistical slack)."""
     machine = Machine(make_scheduler(name), cpus=1, quantum=0.05)
-    a = machine.add_task(Task(Infinite(), weight=1, name="a"))
+    machine.add_task(Task(Infinite(), weight=1, name="a"))
     b = machine.add_task(Task(Infinite(), weight=3, name="b"))
     machine.run_until(30.0)
     share_b = b.service / 30.0

@@ -67,7 +67,7 @@ class TestSpurts:
         """§4.3: SFQ runs large-weight threads continuously for several
         quanta before yielding ("spurts")."""
         m = machine(cpus=1, quantum=0.1)
-        heavy = add_inf(m, 10, "heavy")
+        add_inf(m, 10, "heavy")
         add_inf(m, 1, "light")
         picks = []
         sched = m.scheduler

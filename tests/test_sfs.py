@@ -10,7 +10,7 @@ from repro.core.sfs import SurplusFairScheduler
 from repro.schedulers.sfq import StartTimeFairScheduler
 from repro.sim.events import Block, Run
 from repro.sim.machine import Machine
-from repro.sim.task import Task, TaskState
+from repro.sim.task import Task
 from repro.workloads.base import GeneratorBehavior
 from repro.workloads.cpu_bound import Infinite
 
@@ -102,7 +102,7 @@ class TestProportionalAllocation:
 
     def test_uniprocessor_proportionality(self):
         m, _ = sfs_machine(cpus=1, quantum=0.1)
-        a = add_inf(m, 1, "A")
+        add_inf(m, 1, "A")
         b = add_inf(m, 3, "B")
         m.run_until(20.0)
         assert b.service / 20.0 == pytest.approx(0.75, abs=0.03)
@@ -117,7 +117,7 @@ class TestProportionalAllocation:
             yield Block(10.0)
             yield Run(math.inf)
 
-        sleeper = m.add_task(Task(GeneratorBehavior(gen()), weight=1, name="s"))
+        m.add_task(Task(GeneratorBehavior(gen()), weight=1, name="s"))
         hog = add_inf(m, 1, "hog")
         m.run_until(10.0)
         hog_before = hog.service

@@ -7,8 +7,6 @@ import pytest
 from tests.conftest import add_inf
 from repro.core.sfs_heuristic import HeuristicSurplusFairScheduler
 from repro.sim.machine import Machine
-from repro.sim.task import Task
-from repro.workloads.cpu_bound import Infinite
 
 
 def machine(scan_depth=20, cpus=4, quantum=0.01, **kw):

@@ -2,7 +2,6 @@
 
 import pytest
 
-from tests.conftest import add_inf
 from repro.core.sfs import SurplusFairScheduler
 from repro.schedulers.linux_ts import LinuxTimeSharingScheduler
 from repro.sim.costs import LMBENCH_COST, ZERO_COST

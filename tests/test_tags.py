@@ -5,13 +5,11 @@ import math
 import pytest
 
 from tests.conftest import add_inf
-from repro.core.sfs import SurplusFairScheduler
 from repro.schedulers.sfq import StartTimeFairScheduler
 from repro.sim.events import Block, Run
 from repro.sim.machine import Machine
 from repro.sim.task import Task
 from repro.workloads.base import GeneratorBehavior
-from repro.workloads.cpu_bound import Infinite
 
 
 def sfq_machine(cpus=2, quantum=0.2, **kw):
@@ -128,8 +126,8 @@ class TestWeightChangeHook:
 
     def test_readjusting_scheduler_caps_phi(self):
         m, sched = sfq_machine(cpus=2, readjust=True)
-        a = add_inf(m, 1, "A")
-        b = add_inf(m, 1, "B")
+        add_inf(m, 1, "A")
+        add_inf(m, 1, "B")
         c = add_inf(m, 1, "C")
         m.run_until(0.5)
         m.change_weight(c, 100.0)
