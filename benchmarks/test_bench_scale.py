@@ -31,9 +31,11 @@ SIZES = [100, 1000, 5000]
 #: perf-trend gate watches them so that win can't silently regress.
 CONFIGS = [
     ("sfs", "sfs", 0.85),
+    ("sfs-heuristic", "sfs-heuristic", 0.85),
     ("sfq", "sfq", 0.85),
     ("round-robin", "round-robin", 0.85),
     ("sfs-overload", "sfs", 1.6),
+    ("sfs-heuristic-overload", "sfs-heuristic", 1.6),
     ("sfq-overload", "sfq", 1.6),
 ]
 LABELS = [label for label, _, _ in CONFIGS]
@@ -78,6 +80,15 @@ def test_server_scale_events_per_sec(benchmark, n, label):
     benchmark.extra_info["events"] = events
     benchmark.extra_info["events_per_sec"] = round(events / wall)
     benchmark.extra_info["context_switches"] = result.trace.context_switches
+    sched = result.machine.scheduler
+    if hasattr(sched, "widened_scans"):
+        # Heuristic decision-path health: how often the bounded window
+        # held only running threads (widening rounds) and how often a
+        # setweight/rebase forced an off-cadence full refresh.
+        benchmark.extra_info["heuristic_widened_scans"] = sched.widened_scans
+        benchmark.extra_info["heuristic_forced_refreshes"] = (
+            sched.forced_refreshes
+        )
     frontier = getattr(result.machine.scheduler, "frontier", None)
     if frontier is not None:
         # How often the feasible fast path spared a frontier repair —

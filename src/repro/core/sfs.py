@@ -169,10 +169,20 @@ class SurplusFairScheduler(TaggedScheduler):
         v = self._vtime
         for task in self.surplus_queue:
             task.sched["alpha"] = self.tags.surplus(task.phi, task.sched["S"], v)
-        self.surplus_queue.resort_insertion()
+        self._resort_surplus_queue()
         self.resort_count += 1
         self._surplus_dirty = False
         self._v_at_recompute = v
+
+    def _resort_surplus_queue(self) -> None:
+        """Restore queue-3 order after a bulk surplus recompute.
+
+        Exact SFS recomputes at *every* virtual-time change, so the
+        queue is mostly sorted and insertion sort is near-linear. The
+        heuristic overrides this: it refreshes rarely, arrives with a
+        scrambled order, and needs the full-sort bound instead.
+        """
+        self.surplus_queue.resort_insertion()
 
     def pick_next(self, cpu: int, now: float) -> Task | None:
         self.decision_count += 1
@@ -185,7 +195,16 @@ class SurplusFairScheduler(TaggedScheduler):
         return self._apply_affinity(cpu, best)
 
     def _apply_affinity(self, cpu: int, best: Task) -> Task:
-        """§5 extension: keep the CPU's previous thread when near-tied."""
+        """§5 extension: keep the CPU's previous thread when near-tied.
+
+        Both sides of the bonus comparison are *fresh* Eq. 4 surpluses
+        computed against one virtual-time snapshot. ``best`` was picked
+        off the surplus queue's stored keys, so its fresh surplus is
+        re-derived here too — the guard below re-selects if a stored
+        key turns out stale (it should not, after the recompute in
+        :meth:`pick_next`, but the bonus must never admit a thread more
+        than ``affinity_bonus`` past the fresh minimum).
+        """
         assert self.machine is not None
         prev = self.machine.previous_task(cpu)
         if (
@@ -203,7 +222,17 @@ class SurplusFairScheduler(TaggedScheduler):
             self.tags.finish_tag(self.tags.zero, self.affinity_bonus, 1.0),
             self.tags.zero,
         )
-        if self.surplus_of(prev) <= self.surplus_of(best) + bonus:
+        v = self._vtime
+        best_alpha = self.surplus_of(best, v)
+        if best_alpha != best.sched["alpha"]:
+            # Stale stored key: re-select against fresh surpluses so the
+            # bound below really is the fresh minimum.
+            self._recompute_surpluses()
+            best = self._first_schedulable(self.surplus_queue)
+            if best is None or prev is best:
+                return best
+            best_alpha = best.sched["alpha"]
+        if self.surplus_of(prev, v) <= best_alpha + bonus:
             self.affinity_hits += 1
             return prev
         return best

@@ -14,11 +14,29 @@ runnable threads.
 Full surplus refreshes still happen, but only every ``refresh_every``
 decisions ("infrequent updates and sorting are still required to
 maintain a high accuracy of the heuristic"), making the per-decision
-cost constant.
+cost constant. Three details keep the decision path genuinely bounded
+under overload (runnable sets in the thousands):
+
+- when the ≤ 3k-thread window holds only *running* threads (possible
+  whenever ``k`` is small relative to the processor count), the scan
+  **widens geometrically** — doubling ``k`` until a runnable thread
+  appears — instead of degrading to a full O(n) exact scan. At most
+  ``p`` threads can be running, so one or two doublings always
+  suffice; the worst case is O(p + k), never O(n);
+- an explicit ``setweight()`` or a tag wrap-around rebase invalidates
+  the surplus queue's stored order *structurally* (phis rescale
+  surpluses; fixed-point shifts may round), so the next decision
+  forces a full refresh immediately rather than trusting a stale order
+  for up to ``refresh_every`` more decisions;
+- the periodic refresh re-sorts with a full O(n log n) sort, not the
+  exact path's insertion sort: after ``refresh_every`` decisions of
+  drift the queue is arbitrarily scrambled, which is insertion sort's
+  quadratic case.
 
 Set ``track_accuracy=True`` to have every decision also compute the
 exact minimum-surplus thread and record whether the heuristic matched —
-this regenerates Fig. 3.
+this regenerates Fig. 3 (and the saturation study's accuracy-vs-k
+curve on the server family).
 """
 
 from __future__ import annotations
@@ -40,6 +58,9 @@ class HeuristicSurplusFairScheduler(SurplusFairScheduler):
         ``k`` — threads examined per queue (paper: 20 suffices).
     refresh_every:
         Decisions between full surplus recomputations/re-sorts.
+        Weight changes and tag rebases force an immediate refresh
+        regardless (the stored order is structurally stale, not merely
+        drifted).
     track_accuracy:
         Also compute the exact decision each time and count matches
         (a pick is a *match* when its fresh surplus equals the true
@@ -69,10 +90,19 @@ class HeuristicSurplusFairScheduler(SurplusFairScheduler):
         self.refresh_every = refresh_every
         self.track_accuracy = track_accuracy
         self._since_refresh = 0
+        #: surplus-queue order invalidated structurally (setweight /
+        #: rebase) — force a full refresh at the next decision
+        self._order_stale = False
         #: decisions where the heuristic had a real choice to make
         self.tracked_decisions = 0
         #: decisions whose pick had the true minimum surplus
         self.tracked_matches = 0
+        #: widening rounds taken because a window held only running
+        #: threads (the fixed fallback path; used to be a full O(n) scan)
+        self.widened_scans = 0
+        #: full refreshes forced by weight changes / rebases rather
+        #: than the refresh_every cadence
+        self.forced_refreshes = 0
 
     @property
     def accuracy(self) -> float:
@@ -81,45 +111,97 @@ class HeuristicSurplusFairScheduler(SurplusFairScheduler):
             return 1.0
         return self.tracked_matches / self.tracked_decisions
 
-    def _candidates(self) -> list[Task]:
-        """The <= 3k threads the heuristic examines, deduplicated."""
-        k = self.scan_depth
-        seen: set[int] = set()
-        out: list[Task] = []
-        for task in (
-            self.start_queue.peek_n(k)
-            + self.weight_queue.peek_tail_n(k)  # backwards: smallest weights
-            + self.surplus_queue.peek_n(k)
+    # ------------------------------------------------------------------
+    # staleness hooks: structural order invalidation forces a refresh
+    # ------------------------------------------------------------------
+
+    def on_weight_change(self, task: Task, old_weight: float, now: float) -> None:
+        super().on_weight_change(task, old_weight, now)
+        if task.is_runnable:
+            # Readjustment may have rescaled *several* phis; surpluses
+            # scale with phi, so the stored order is invalid, not just
+            # drifted. Refresh at the next decision.
+            self._order_stale = True
+
+    def _after_rebase(self, offset) -> None:
+        super()._after_rebase(offset)
+        # Surpluses are invariant under a common tag shift in exact
+        # arithmetic, but fixed-point shifts round — refreshing once is
+        # cheap insurance against a silently reordered queue.
+        self._order_stale = True
+
+    def _resort_surplus_queue(self) -> None:
+        # After refresh_every decisions of drift the queue is far from
+        # sorted; insertion sort (the exact path's choice) would be
+        # quadratic here. Full sort keeps the refresh O(n log n).
+        self.surplus_queue.resort()
+
+    # ------------------------------------------------------------------
+    # the bounded decision scan
+    # ------------------------------------------------------------------
+
+    def _scan_window(self, depth: int) -> tuple[Task | None, float | None]:
+        """Min-fresh-surplus runnable thread in the depth-``k`` window.
+
+        One tight pass over the three window slices. Threads appearing
+        in several windows are scanned more than once — harmless for a
+        minimum, and cheaper than deduplicating: this loop runs per
+        scheduling decision, so set bookkeeping and tuple keys are real
+        costs at N=5000 overload.
+        """
+        surplus = self.tags.surplus
+        v = self._vtime
+        runnable = TaskState.RUNNABLE
+        best: Task | None = None
+        best_alpha: float | None = None
+        best_tid = 0
+        for window in (
+            self.start_queue.peek_n(depth),
+            self.weight_queue.peek_tail_n(depth),  # smallest weights
+            self.surplus_queue.peek_n(depth),
         ):
-            if task.tid not in seen:
-                seen.add(task.tid)
-                out.append(task)
-        return out
+            for task in window:
+                if task.state is not runnable:
+                    continue
+                alpha = surplus(task.phi, task.sched["S"], v)
+                if (
+                    best is None
+                    or alpha < best_alpha
+                    or (alpha == best_alpha and task.tid < best_tid)
+                ):
+                    best = task
+                    best_alpha = alpha
+                    best_tid = task.tid
+        return best, best_alpha
 
     def pick_next(self, cpu: int, now: float) -> Task | None:
         self.decision_count += 1
         self._refresh_vtime()
         self._since_refresh += 1
-        if self._since_refresh >= self.refresh_every:
+        if self._order_stale or self._since_refresh >= self.refresh_every:
+            if self._order_stale:
+                self.forced_refreshes += 1
             self._recompute_surpluses()
             self._since_refresh = 0
-        best: Task | None = None
-        best_key: tuple | None = None
-        for task in self._candidates():
-            if task.state is not TaskState.RUNNABLE:
-                continue
-            key = (self.surplus_of(task), task.tid)
-            if best_key is None or key < best_key:
-                best_key = key
-                best = task
-        if best is None:
-            # Scan window held only running threads; fall back to the
-            # exact path so the scheduler stays work-conserving.
-            best = self.exact_minimum_surplus_task()
+            self._order_stale = False
+        k = self.scan_depth
+        best, best_alpha = self._scan_window(k)
+        total = len(self.surplus_queue)
+        while best is None and k < total:
+            # The window held only running threads. At most p threads
+            # can be running, so widening geometrically finds a runnable
+            # one (if any exists) in O(p + k) — the old fallback ran the
+            # exact O(n) scan here, the very cost the heuristic exists
+            # to avoid.
+            k = min(total, k * 2)
+            self.widened_scans += 1
+            best, best_alpha = self._scan_window(k)
         if self.track_accuracy and best is not None:
             exact = self.exact_minimum_surplus_task()
             if exact is not None:
                 self.tracked_decisions += 1
-                if self.surplus_of(best) == self.surplus_of(exact):
+                # best_alpha is best's fresh surplus from the scan —
+                # no need to recompute it per decision.
+                if best_alpha == self.surplus_of(exact):
                     self.tracked_matches += 1
         return best

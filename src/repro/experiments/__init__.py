@@ -12,6 +12,7 @@ fig6b      Fig. 6(b): MPEG isolation from compilations
 fig6c      Fig. 6(c): interactive response under batch load
 table1     Table 1: lmbench scheduling overheads
 fig7       Fig. 7: context-switch overhead vs process count
+saturation server-family saturation study (beyond the paper)
 =========  =======================================================
 
 Each module exposes ``run(...) -> Result`` and ``render(Result) -> str``,
@@ -31,6 +32,7 @@ from repro.experiments import (
     fig6b_isolation,
     fig6c_interactive,
     fig7_ctxswitch,
+    saturation,
     sensitivity,
     table1_lmbench,
 )
@@ -44,6 +46,7 @@ __all__ = [
     "fig6b_isolation",
     "fig6c_interactive",
     "fig7_ctxswitch",
+    "saturation",
     "sensitivity",
     "table1_lmbench",
 ]

@@ -40,6 +40,7 @@ from repro.experiments import (
     fig6b_isolation,
     fig6c_interactive,
     fig7_ctxswitch,
+    saturation,
     sensitivity,
     table1_lmbench,
 )
@@ -84,6 +85,7 @@ _VARIANTS: dict[str, tuple[tuple[str, Callable[[], Any], Callable[[Any], str]], 
     "table1": (("", table1_lmbench.run, table1_lmbench.render),),
     "fig7": (("", fig7_ctxswitch.run, fig7_ctxswitch.render),),
     "sensitivity": (("", sensitivity.run, sensitivity.render),),
+    "saturation": (("", saturation.run, saturation.render),),
 }
 
 _DESCRIPTIONS = {
@@ -97,6 +99,8 @@ _DESCRIPTIONS = {
     "table1": "Table 1: lmbench scheduling overheads",
     "fig7": "Fig. 7: context-switch overhead vs process count",
     "sensitivity": "Fig. 5 sensitivity: T_short share vs timer jitter",
+    "saturation": "saturation study: events/sec + sojourn percentiles "
+    "vs load, heuristic accuracy vs k (server family)",
 }
 
 

@@ -29,10 +29,16 @@ new module::
     print(result.shares())
 """
 
-from repro.scenario.result import SimulationResult, summarize
+from repro.scenario.result import (
+    METRICS,
+    SimulationResult,
+    percentile,
+    summarize,
+)
 from repro.scenario.runner import run_scenario
 from repro.scenario.server import (
     SERVER_WEIGHT_CLASSES,
+    busy_window_end,
     class_shares,
     server_scenario,
 )
@@ -53,15 +59,24 @@ from repro.scenario.spec import (
     group,
     task,
 )
-from repro.scenario.sweep import Sweep, SweepCell, run_sweep, sweep_scenarios
+from repro.scenario.sweep import (
+    Sweep,
+    SweepCell,
+    run_cells,
+    run_sweep,
+    sweep_scenarios,
+)
 
 __all__ = [
     "Compile",
     "Compute",
     "Disksim",
     "Inf",
+    "METRICS",
     "SERVER_WEIGHT_CLASSES",
+    "busy_window_end",
     "class_shares",
+    "percentile",
     "server_scenario",
     "InteractiveLoop",
     "Kill",
@@ -76,6 +91,7 @@ __all__ = [
     "SweepCell",
     "TaskSpec",
     "group",
+    "run_cells",
     "run_scenario",
     "run_sweep",
     "summarize",

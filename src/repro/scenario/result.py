@@ -13,7 +13,7 @@ metrics; it is what sweep workers ship back across the process pool.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.analysis.fairness import jains_index, longest_starvation
 from repro.analysis.timeseries import cumulative_series, regular_times
@@ -22,7 +22,34 @@ from repro.sim.metrics import service_between, share_between
 from repro.sim.task import Task
 from repro.sim.tracing import Trace
 
-__all__ = ["SimulationResult", "summarize", "METRICS"]
+__all__ = [
+    "SimulationResult",
+    "summarize",
+    "percentile",
+    "check_metrics",
+    "METRICS",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Matches numpy's default ("linear") method so reported latency
+    percentiles are comparable to the capacity-planning literature.
+    Raises ValueError on an empty sample.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
 class SimulationResult:
@@ -144,6 +171,40 @@ class SimulationResult:
         times = regular_times(t0, end, step)
         return {n: self.series(n, times, scale=scale) for n in names}
 
+    # -- latency --------------------------------------------------------
+
+    def sojourns(self, prefix: str = "") -> dict[str, float]:
+        """Arrival-to-completion time per *completed* task name.
+
+        ``prefix`` filters by task-name prefix (e.g. ``"pro-"`` for one
+        server weight class); jobs still in the system are excluded —
+        under overload that truncation matters, so pair percentiles
+        with the completion count when comparing policies.
+        """
+        out: dict[str, float] = {}
+        for name, t in self.tasks.items():
+            if prefix and not name.startswith(prefix):
+                continue
+            s = t.sojourn_time
+            if s is not None:
+                out[name] = s
+        return out
+
+    def first_dispatch_latencies(self, prefix: str = "") -> dict[str, float]:
+        """Arrival-to-first-CPU delay per dispatched task name."""
+        out: dict[str, float] = {}
+        for name, t in self.tasks.items():
+            if prefix and not name.startswith(prefix):
+                continue
+            lat = t.first_dispatch_latency
+            if lat is not None:
+                out[name] = lat
+        return out
+
+    def sojourn_percentile(self, q: float, prefix: str = "") -> float:
+        """The ``q``-th sojourn percentile over completed tasks."""
+        return percentile(list(self.sojourns(prefix).values()), q)
+
     # -- fairness -------------------------------------------------------
 
     def starvation(
@@ -209,6 +270,65 @@ def _metric_max_lag(result: SimulationResult) -> float:
     return max(report.values(), default=0.0)
 
 
+def _class_of(name: str) -> str:
+    """Weight-class prefix of a task name (``"pro-00042"`` -> ``"pro"``)."""
+    return name.split("-", 1)[0]
+
+
+def _percentile_by_class(
+    result: SimulationResult,
+    extract: Callable[[Task], float | None],
+    q: float,
+) -> dict[str, float]:
+    """q-th percentile of ``extract(task)`` per weight-class prefix.
+
+    Tasks for which ``extract`` returns None (e.g. jobs still in the
+    system have no sojourn) are skipped; classes with no samples are
+    omitted, an ``"all"`` key aggregates over every sampled task, and
+    the dict is empty when nothing was sampled (an all-``Inf``
+    population). Flat and picklable — sweep workers ship it back
+    as-is.
+    """
+    by_class: dict[str, list[float]] = {}
+    everything: list[float] = []
+    for name, t in result.tasks.items():
+        value = extract(t)
+        if value is None:
+            continue
+        by_class.setdefault(_class_of(name), []).append(value)
+        everything.append(value)
+    out = {
+        cls: percentile(vals, q) for cls, vals in sorted(by_class.items())
+    }
+    if everything:
+        out["all"] = percentile(everything, q)
+    return out
+
+
+def _metric_sojourn_p50(result: SimulationResult) -> dict[str, float]:
+    return _percentile_by_class(result, lambda t: t.sojourn_time, 50.0)
+
+
+def _metric_sojourn_p95(result: SimulationResult) -> dict[str, float]:
+    return _percentile_by_class(result, lambda t: t.sojourn_time, 95.0)
+
+
+def _metric_sojourn_p99(result: SimulationResult) -> dict[str, float]:
+    return _percentile_by_class(result, lambda t: t.sojourn_time, 99.0)
+
+
+def _metric_dispatch_latency_p95(result: SimulationResult) -> dict[str, float]:
+    """p95 arrival-to-first-CPU delay per weight-class prefix + ``"all"``."""
+    return _percentile_by_class(
+        result, lambda t: t.first_dispatch_latency, 95.0
+    )
+
+
+def _metric_completed(result: SimulationResult) -> int:
+    """Jobs that ran to completion (the denominator behind sojourns)."""
+    return sum(1 for t in result.tasks.values() if t.exit_time is not None)
+
+
 #: canned metric name -> extractor (flat, picklable values only)
 METRICS = {
     "shares": _metric_shares,
@@ -219,7 +339,24 @@ METRICS = {
     "decisions": _metric_decisions,
     "events_fired": _metric_events_fired,
     "max_lag": _metric_max_lag,
+    "sojourn_p50": _metric_sojourn_p50,
+    "sojourn_p95": _metric_sojourn_p95,
+    "sojourn_p99": _metric_sojourn_p99,
+    "dispatch_latency_p95": _metric_dispatch_latency_p95,
+    "completed": _metric_completed,
 }
+
+
+def check_metrics(metrics: Iterable[str]) -> None:
+    """Raise ValueError on unknown metric names (fail fast, pre-run).
+
+    The single validation used by ``Scenario``/``Sweep`` construction
+    and ``run_cells``, so a typo surfaces before any cell burns CPU.
+    """
+    unknown = [m for m in metrics if m not in METRICS]
+    if unknown:
+        known = ", ".join(sorted(METRICS))
+        raise ValueError(f"unknown metric(s) {unknown!r}; known: {known}")
 
 
 def summarize(

@@ -36,10 +36,16 @@ N ∈ {100, 1000, 5000}).
 from __future__ import annotations
 
 import random
+from typing import Any, Mapping
 
 from repro.scenario.spec import Compute, Scenario, TaskSpec
 
-__all__ = ["SERVER_WEIGHT_CLASSES", "server_scenario", "class_shares"]
+__all__ = [
+    "SERVER_WEIGHT_CLASSES",
+    "server_scenario",
+    "class_shares",
+    "busy_window_end",
+]
 
 #: default weight mix: (class name, weight, probability)
 SERVER_WEIGHT_CLASSES: tuple[tuple[str, float, float], ...] = (
@@ -66,6 +72,7 @@ def server_scenario(
     service_sample_interval: float = 0.0,
     record_events: bool = False,
     metrics: tuple[str, ...] = (),
+    scheduler_params: Mapping[str, Any] | None = None,
 ) -> Scenario:
     """Build one server-family scenario (pure data, deterministic).
 
@@ -87,6 +94,10 @@ def server_scenario(
     record_events:
         Off by default — the GMS-replay event timeline is O(events) of
         memory, which high-N runs rarely want.
+    scheduler_params:
+        Per-run constructor overrides for the scheduler (e.g.
+        ``{"scan_depth": 10, "track_accuracy": True}`` for
+        ``sfs-heuristic``), forwarded to the registry factory.
     """
     if n_tasks < 1:
         raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
@@ -135,6 +146,7 @@ def server_scenario(
     return Scenario(
         name=f"server-n{n_tasks}-{scheduler}-seed{seed}",
         scheduler=scheduler,
+        scheduler_params=dict(scheduler_params or {}),
         cpus=cpus,
         quantum=quantum,
         cost_model=cost_model,
@@ -147,9 +159,42 @@ def server_scenario(
     )
 
 
-def class_shares(result, weight_classes=SERVER_WEIGHT_CLASSES) -> dict[str, float]:
-    """Aggregate machine share per weight class of a finished run."""
-    capacity = result.capacity()
+def busy_window_end(result) -> float:
+    """End of the run's *busy* window: the last job completion.
+
+    Falls back to the full duration when any declared job is still in
+    the system at the end (overloaded runs, or a drain window too short
+    to clear the backlog) — then the whole run is genuinely busy.
+    """
+    ends = [t.exit_time for t in result.tasks.values()]
+    if not ends or any(e is None for e in ends):
+        return result.duration
+    return max(ends)
+
+
+def class_shares(
+    result,
+    weight_classes=SERVER_WEIGHT_CLASSES,
+    window: str = "busy",
+) -> dict[str, float]:
+    """Aggregate machine share per weight class of a finished run.
+
+    ``window="busy"`` (default) normalizes by capacity up to the last
+    job completion, so the reported shares are invariant to how much
+    idle padding ``drain_factor`` appends after the backlog clears.
+    The old behaviour — dividing by capacity over the *full* duration,
+    which shrinks every share as ``drain_factor`` grows — is available
+    as ``window="full"``.
+    """
+    if window == "busy":
+        end = busy_window_end(result)
+    elif window == "full":
+        end = result.duration
+    else:
+        raise ValueError(
+            f"window must be 'busy' or 'full', got {window!r}"
+        )
+    capacity = result.capacity(0.0, end)
     return {
         name: result.group_service(f"{name}-") / capacity
         for name, _, _ in weight_classes

@@ -315,6 +315,12 @@ class Scenario:
                 "duration=None requires a self-terminating driver "
                 "(LatCtxRing); fixed populations need an explicit duration"
             )
+        # Fail fast on metric typos: summarize() used to raise only
+        # *after* the simulation ran, wasting e.g. an N=5000 sweep cell
+        # before reporting the bad name.
+        from repro.scenario.result import check_metrics
+
+        check_metrics(self.metrics)
         if self.service_sample_interval > 0 and "max_lag" in self.metrics:
             raise ValueError(
                 "metric 'max_lag' reads mid-run service curves, which "

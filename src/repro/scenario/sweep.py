@@ -20,15 +20,16 @@ from __future__ import annotations
 import concurrent.futures
 import itertools
 import os
+import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
-from repro.scenario.result import summarize
+from repro.scenario.result import check_metrics, summarize
 from repro.scenario.runner import run_scenario
 from repro.scenario.spec import Scenario
 
-__all__ = ["Sweep", "SweepCell", "run_sweep", "sweep_scenarios"]
+__all__ = ["Sweep", "SweepCell", "run_sweep", "run_cells", "sweep_scenarios"]
 
 
 @dataclass(frozen=True)
@@ -38,7 +39,8 @@ class Sweep:
     Empty axes inherit the base scenario's value, so a sweep with only
     ``schedulers`` set is a pure policy comparison. ``metrics`` names
     the canned summaries (see :data:`repro.scenario.result.METRICS`)
-    each cell reports.
+    each cell reports; unknown names are rejected at construction, not
+    after the first N=5000 cell has already run.
     """
 
     base: Scenario
@@ -47,16 +49,25 @@ class Sweep:
     quanta: tuple[float, ...] = ()
     metrics: tuple[str, ...] = ("shares", "jains")
 
+    def __post_init__(self) -> None:
+        check_metrics(self.metrics)
+
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One grid point's coordinates and measured metrics."""
+    """One grid point's coordinates and measured metrics.
+
+    ``wall_s`` is the worker-side wall-clock of the cell's
+    ``run_scenario`` call — with the ``events_fired`` metric it yields
+    events/sec, the throughput number the saturation studies chart.
+    """
 
     index: int
     scheduler: str
     cpus: int
     quantum: float
     metrics: Mapping[str, Any] = field(default_factory=dict)
+    wall_s: float = 0.0
 
 
 def sweep_scenarios(sweep: Sweep) -> list[Scenario]:
@@ -89,13 +100,16 @@ def sweep_scenarios(sweep: Sweep) -> list[Scenario]:
 def _run_cell(args: tuple[int, Scenario, tuple[str, ...]]) -> SweepCell:
     """Worker entry point: run one cell, return its flat summary."""
     index, scenario, metrics = args
+    t0 = time.perf_counter()
     result = run_scenario(scenario)
+    wall = time.perf_counter() - t0
     return SweepCell(
         index=index,
         scheduler=scenario.scheduler,
         cpus=scenario.cpus,
         quantum=scenario.quantum,
         metrics=summarize(result, metrics),
+        wall_s=wall,
     )
 
 
@@ -108,9 +122,28 @@ def run_sweep(sweep: Sweep, workers: int | None = None) -> list[SweepCell]:
     platform cannot spawn worker processes the sweep transparently
     falls back to serial execution.
     """
+    return run_cells(
+        sweep_scenarios(sweep), tuple(sweep.metrics), workers=workers
+    )
+
+
+def run_cells(
+    scenarios: Sequence[Scenario],
+    metrics: tuple[str, ...],
+    workers: int | None = None,
+) -> list[SweepCell]:
+    """Run an arbitrary list of scenarios across the process pool.
+
+    The generalization :func:`run_sweep` is built on: grids that vary
+    more than (scheduler, cpus, quantum) — e.g. the saturation study's
+    N x load x policy lattice, where each cell is a *different*
+    ``server_scenario`` population — build their own scenario list and
+    feed it here. Results come back in input order with the same
+    pool-or-serial fallback semantics as ``run_sweep``.
+    """
+    check_metrics(metrics)
     jobs = [
-        (i, scenario, tuple(sweep.metrics))
-        for i, scenario in enumerate(sweep_scenarios(sweep))
+        (i, scenario, tuple(metrics)) for i, scenario in enumerate(scenarios)
     ]
     if workers == 0 or len(jobs) <= 1:
         return [_run_cell(job) for job in jobs]

@@ -54,11 +54,19 @@ class EventHandle:
 
 
 class Engine:
-    """Discrete-event simulation clock and event queue."""
+    """Discrete-event simulation clock and event queue.
+
+    The heap holds ``(time, seq, handle)`` tuples rather than the
+    handles themselves: ``seq`` is unique, so ordering — identical to
+    ``EventHandle.__lt__`` — never falls through to comparing handles,
+    and every heap sift compares tuples in C instead of calling a
+    Python ``__lt__``. At N=5000 server runs the heap churn is a
+    measurable slice of wall time for *every* policy.
+    """
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[EventHandle] = []
+        self._heap: list[tuple[float, int, EventHandle]] = []
         self._seq = 0
         self._fired = 0
         self._live = 0
@@ -92,7 +100,7 @@ class Engine:
         handle._engine = self
         self._seq += 1
         self._live += 1
-        heapq.heappush(self._heap, handle)
+        heapq.heappush(self._heap, (handle.time, handle.seq, handle))
         return handle
 
     def schedule_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
@@ -104,7 +112,7 @@ class Engine:
     def step(self) -> bool:
         """Fire the next pending event. Returns False if queue is empty."""
         while self._heap:
-            handle = heapq.heappop(self._heap)
+            handle = heapq.heappop(self._heap)[2]
             if handle.cancelled:
                 continue
             self._now = handle.time
@@ -123,11 +131,11 @@ class Engine:
         if t_end < self._now:
             raise ValueError(f"t_end {t_end} is in the past (now={self._now})")
         while self._heap:
-            head = self._heap[0]
+            when, _, head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
                 continue
-            if head.time > t_end:
+            if when > t_end:
                 break
             self.step()
         self._now = t_end

@@ -475,6 +475,8 @@ class Machine:
             cost = self.cost_model.switch_cost(prev_kb, task.footprint_kb, decision)
             self.trace.context_switches += 1
         self.trace.dispatches += 1
+        if task.first_dispatch_time is None:
+            task.first_dispatch_time = now
         proc.seq += 1
         proc.task = task
         self._proc_by_tid[task.tid] = proc

@@ -67,7 +67,7 @@ class SortedTaskList:
             raise ValueError(f"{task!r} is already in the queue")
         k = (self._key(task), task.tid)
         idx = bisect_right(self._keys, k)
-        self.comparisons += max(1, len(self._keys).bit_length())
+        self.comparisons += len(self._keys).bit_length() or 1
         self._keys.insert(idx, k)
         self._tasks.insert(idx, task)
         self._cached_key[task.tid] = k
@@ -76,7 +76,7 @@ class SortedTaskList:
         """Index of ``task``, found by bisect on its cached key."""
         k = self._cached_key[task.tid]
         idx = bisect_left(self._keys, k)
-        self.comparisons += max(1, len(self._keys).bit_length())
+        self.comparisons += len(self._keys).bit_length() or 1
         return idx
 
     def remove(self, task: Task) -> None:
@@ -148,6 +148,27 @@ class SortedTaskList:
             keys[j + 1] = k
             tasks[j + 1] = t
         return moves
+
+    def resort(self) -> int:
+        """Recompute all keys and restore order with a full sort.
+
+        Returns the number of elements. :meth:`resort_insertion` is the
+        right tool when the order has only *drifted* (near-linear on
+        mostly-sorted input) but degrades to quadratic once it has
+        decayed — the §3.2 heuristic refreshes the surplus queue only
+        every ``refresh_every`` decisions, so by refresh time the order
+        is arbitrarily scrambled and needs the guaranteed
+        O(n log n) bound of a full sort.
+        """
+        key = self._key
+        keyed = [((key(t), t.tid), t) for t in self._tasks]
+        keyed.sort()
+        self._keys = [k for k, _ in keyed]
+        self._tasks = [t for _, t in keyed]
+        self._cached_key = {t.tid: k for k, t in keyed}
+        n = len(self._tasks)
+        self.comparisons += n * max(1, n.bit_length())
+        return n
 
     def as_list(self) -> list[Task]:
         """A snapshot copy of the queue in key order."""

@@ -74,6 +74,7 @@ class Task:
         "state",
         "service",
         "arrival_time",
+        "first_dispatch_time",
         "exit_time",
         "last_cpu",
         "remaining_run",
@@ -109,6 +110,9 @@ class Task:
         #: total CPU service received, in seconds
         self.service: float = 0.0
         self.arrival_time: float | None = None
+        #: time the task first got a CPU (None until first dispatch) —
+        #: drives the scheduling-latency metrics capacity studies quote
+        self.first_dispatch_time: float | None = None
         self.exit_time: float | None = None
         self.last_cpu: int | None = None
         #: remaining CPU time in the current Run segment (inf = forever)
@@ -135,6 +139,26 @@ class Task:
         if value <= 0:
             raise ValueError(f"weight must be > 0, got {value}")
         self._weight = float(value)
+
+    @property
+    def sojourn_time(self) -> float | None:
+        """Arrival-to-completion response time, or None until exited.
+
+        The per-job metric saturation/capacity studies report as
+        percentiles ("sojourn" in the queueing literature): queueing
+        delay plus all service and blocking episodes. None for jobs
+        still in the system (or that never arrived).
+        """
+        if self.exit_time is None or self.arrival_time is None:
+            return None
+        return self.exit_time - self.arrival_time
+
+    @property
+    def first_dispatch_latency(self) -> float | None:
+        """Arrival-to-first-CPU delay, or None if never dispatched."""
+        if self.first_dispatch_time is None or self.arrival_time is None:
+            return None
+        return self.first_dispatch_time - self.arrival_time
 
     @property
     def is_runnable(self) -> bool:

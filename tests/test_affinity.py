@@ -5,6 +5,35 @@ import pytest
 from tests.conftest import add_inf
 from repro.core.sfs import SurplusFairScheduler
 from repro.sim.machine import Machine
+from repro.sim.task import TaskState
+
+
+class _AuditedSFS(SurplusFairScheduler):
+    """Checks every affinity decision against fresh surpluses.
+
+    Whenever the bonus keeps a CPU's previous thread, the kept thread's
+    *fresh* Eq. 4 surplus must not exceed the fresh minimum over all
+    schedulable threads by more than the bonus — the consistency
+    contract the stale-key bug could violate.
+    """
+
+    def __init__(self, **kw):
+        super().__init__(**kw)
+        self.violations: list[tuple[float, float]] = []
+
+    def _apply_affinity(self, cpu, best):
+        pick = super()._apply_affinity(cpu, best)
+        if pick is not None and pick is not best:
+            fresh = {
+                tid: alpha
+                for tid, alpha in self.surpluses().items()
+                if self._runnable[tid].state is TaskState.RUNNABLE
+            }
+            fresh_min = min(fresh.values())
+            picked = self.surplus_of(pick)
+            if picked > fresh_min + self.affinity_bonus + 1e-12:
+                self.violations.append((picked, fresh_min))
+        return pick
 
 
 def run(affinity_bonus, horizon=20.0, cpus=2, n_tasks=6):
@@ -52,6 +81,18 @@ class TestAffinity:
         for i in range(5):
             add_inf(machine, i + 1, f"T{i}")
         machine.run_until(5.0)  # must not raise
+
+    def test_kept_thread_never_exceeds_fresh_minimum_plus_bonus(self):
+        # Regression for the stale-key comparison: the §5 bonus must be
+        # measured against *fresh* surpluses, so an affinity pick can
+        # never be more than the bonus past the fresh minimum.
+        sched = _AuditedSFS(affinity_bonus=0.05)
+        machine = Machine(sched, cpus=2, quantum=0.1, record_events=False)
+        for i in range(7):
+            add_inf(machine, 1 + (i % 3), f"T{i}")
+        machine.run_until(15.0)
+        assert sched.affinity_hits > 0  # the audit actually exercised picks
+        assert sched.violations == []
 
     def test_works_with_fixed_point_tags(self):
         from repro.core.fixed_point import FixedTags

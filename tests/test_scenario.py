@@ -202,6 +202,24 @@ class TestValidation:
         assert result.task("job").exit_time is not None
         assert result.service("job") == pytest.approx(0.5)
 
+    def test_unknown_metric_rejected_at_construction(self):
+        # A typo must fail before any simulation runs (it used to
+        # surface only from summarize(), after the run completed).
+        with pytest.raises(ValueError, match="unknown metric"):
+            _basic(metrics=("jians",))
+
+    def test_unknown_sweep_metric_rejected_at_construction(self):
+        from repro.scenario import Sweep
+
+        with pytest.raises(ValueError, match="unknown metric"):
+            Sweep(base=_basic(), metrics=("shares", "nope"))
+
+    def test_run_cells_rejects_unknown_metric(self):
+        from repro.scenario import run_cells
+
+        with pytest.raises(ValueError, match="unknown metric"):
+            run_cells([_basic()], ("nope",), workers=0)
+
 
 class TestRegistryDecorator:
     def test_register_rejects_duplicate_names(self):

@@ -170,6 +170,49 @@ class TestFairnessShape:
         assert set(shares) == {"std", "pro", "ent"}
         assert 0 < sum(shares.values()) <= 1.0 + 1e-9
 
+    def test_class_shares_invariant_to_drain_factor(self):
+        # Regression: shares used to be normalized over the *full*
+        # duration, shrinking as drain_factor padded idle time after
+        # the backlog cleared. The busy-window default must not move.
+        def shares_at(drain):
+            scn = server_scenario(
+                40, cpus=2, seed=11, load=0.7, drain_factor=drain,
+            )
+            return class_shares(run_scenario(scn))
+
+        a, b = shares_at(2.0), shares_at(4.0)
+        for cls in ("std", "pro", "ent"):
+            assert a[cls] == pytest.approx(b[cls], rel=1e-12)
+
+    def test_full_window_shares_shrink_with_drain_factor(self):
+        # The old normalization stays available as window="full" and
+        # keeps its drain-dependent behaviour.
+        def shares_at(drain):
+            scn = server_scenario(
+                40, cpus=2, seed=11, load=0.7, drain_factor=drain,
+            )
+            return class_shares(run_scenario(scn), window="full")
+
+        a, b = shares_at(2.0), shares_at(4.0)
+        assert sum(b.values()) < sum(a.values())
+
+    def test_busy_window_falls_back_to_duration_under_backlog(self):
+        from repro.scenario import busy_window_end
+
+        scn = server_scenario(
+            40, cpus=2, seed=13, load=6.0, drain_factor=1.0,
+        )
+        result = run_scenario(scn)
+        # Overloaded and undrained: some jobs never finish, so the busy
+        # window is the whole run and both windows agree.
+        assert busy_window_end(result) == result.duration
+        assert class_shares(result) == class_shares(result, window="full")
+
+    def test_unknown_window_rejected(self):
+        result = run_scenario(server_scenario(10, seed=3))
+        with pytest.raises(ValueError, match="window"):
+            class_shares(result, window="warm")
+
 
 class TestSweepIntegration:
     def test_server_scenario_sweeps_across_policies(self):
