@@ -17,11 +17,13 @@ to ~32k (SFQ ~59k, round-robin ~108k). Wall-clock noise between runs
 is ±20%; treat the trajectory, not single cells, as signal.
 """
 
+import json
+import os
 import time
 
 import pytest
 
-from repro.scenario import class_shares, run_scenario, server_scenario
+from repro.scenario import class_shares, run_cells, run_scenario, server_scenario
 
 #: the family's scaling ladder; 5000 is the acceptance-criteria point
 SIZES = [100, 1000, 5000]
@@ -104,6 +106,63 @@ def test_server_scale_events_per_sec(benchmark, n, label):
     assert 0 < total <= result.capacity() + 1e-6
     shares = class_shares(result)
     assert all(s >= 0 for s in shares.values())
+
+
+def test_server_grid_per_cell_walls(tmp_path):
+    """Run a small server grid through an execution backend and record
+    per-cell worker-side wall clocks.
+
+    The backend is selected by ``SFS_BENCH_BACKEND`` (default
+    ``chunked``, exercising the streaming/checkpoint path CI relies
+    on); when ``SFS_BENCH_CELLS`` names a file, the per-cell ``wall_s``
+    rows are dumped there as JSON so CI can upload them alongside
+    ``BENCH_scale.json`` — the raw material for spotting a *single*
+    slow cell that the aggregate events/sec rows would average away.
+    """
+    backend = os.environ.get("SFS_BENCH_BACKEND", "chunked")
+    grid = CONFIGS[:4]
+    scenarios = [
+        server_scenario(
+            100,
+            cpus=4,
+            scheduler=scheduler,
+            load=load,
+            cost_model="lmbench",
+            service_sample_interval=0.5,
+        )
+        for _, scheduler, load in grid
+    ]
+    cells = run_cells(
+        scenarios,
+        ("events_fired",),
+        backend=backend,
+        checkpoint=(
+            str(tmp_path / "bench_ck.jsonl") if backend == "chunked" else None
+        ),
+    )
+    assert len(cells) == len(grid)
+    rows = []
+    for (label, _, load), cell in zip(grid, cells):
+        assert cell.wall_s > 0
+        assert cell.metrics["events_fired"] > 100
+        rows.append(
+            {
+                "label": label,
+                "n_tasks": 100,
+                "load": load,
+                "backend": backend,
+                "wall_s": cell.wall_s,
+                "events": cell.metrics["events_fired"],
+                "events_per_sec": round(
+                    cell.metrics["events_fired"] / cell.wall_s
+                ),
+            }
+        )
+    out = os.environ.get("SFS_BENCH_CELLS")
+    if out:
+        with open(out, "w") as fh:
+            json.dump(rows, fh, indent=2)
+            fh.write("\n")
 
 
 def test_server_scale_decimation_bounds_series_memory():

@@ -1,0 +1,112 @@
+"""Pluggable execution backends for scenario grids.
+
+One small protocol — :class:`~repro.exec.base.ExecutionBackend`:
+``submit(jobs) -> iterator of SweepCell in completion order``, plus
+``cancel``/``close`` — with four shipped implementations:
+
+- :class:`~repro.exec.serial.SerialBackend` — in-process, in-order;
+  the reference every other backend must match cell-for-cell;
+- :class:`~repro.exec.pool.ProcessPoolBackend` — the classic local
+  process pool, now resuming only *unfinished* cells when the pool
+  breaks mid-grid;
+- :class:`~repro.exec.chunked.ChunkedBackend` — bounded-memory
+  chunked streaming with a JSONL checkpoint file, making 10^4-cell
+  grids survivable (kill it, re-run it, completed cells replay from
+  the file);
+- :class:`~repro.exec.sshexec.SSHBackend` — shards cells across
+  ``sfs-experiment worker`` subprocesses (local or over ssh) speaking
+  a line-JSON protocol on stdio.
+
+:func:`make_backend` resolves the ``--backend`` names the CLI and
+``run_cells`` accept.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exec.base import (
+    BackendBase,
+    CellJob,
+    ExecutionBackend,
+    cell_from_json,
+    cell_to_json,
+    execute_job,
+)
+from repro.exec.chunked import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkedBackend,
+    job_fingerprint,
+    load_checkpoint,
+)
+from repro.exec.pool import ProcessPoolBackend
+from repro.exec.serial import SerialBackend
+from repro.exec.sshexec import SSHBackend
+from repro.exec.worker import serve as serve_worker
+
+__all__ = [
+    "BACKENDS",
+    "BackendBase",
+    "CellJob",
+    "ChunkedBackend",
+    "DEFAULT_CHUNK_SIZE",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SSHBackend",
+    "SerialBackend",
+    "cell_from_json",
+    "cell_to_json",
+    "execute_job",
+    "job_fingerprint",
+    "load_checkpoint",
+    "make_backend",
+    "serve_worker",
+]
+
+#: the ``--backend`` names (see :func:`make_backend`)
+BACKENDS = ("serial", "process", "chunked", "ssh")
+
+
+def make_backend(
+    name: str,
+    workers: int | None = None,
+    checkpoint: str | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    hosts: Sequence[str] = (),
+) -> ExecutionBackend:
+    """Build a backend from its CLI name.
+
+    ``checkpoint`` with a non-chunked name wraps the request into a
+    :class:`ChunkedBackend` for ``"serial"``/``"process"`` (chunked
+    *is* the checkpointing pool runner; serial checkpointing is
+    ``workers=0``). ``hosts`` only applies to ``"ssh"``.
+    """
+    if name == "serial":
+        if checkpoint is not None:
+            return ChunkedBackend(
+                workers=0, chunk_size=chunk_size, checkpoint=checkpoint
+            )
+        return SerialBackend()
+    if name == "process":
+        if checkpoint is not None:
+            return ChunkedBackend(
+                workers=workers, chunk_size=chunk_size, checkpoint=checkpoint
+            )
+        return ProcessPoolBackend(workers=workers)
+    if name == "chunked":
+        return ChunkedBackend(
+            workers=workers, chunk_size=chunk_size, checkpoint=checkpoint
+        )
+    if name == "ssh":
+        if not hosts:
+            raise ValueError("backend 'ssh' needs at least one --host")
+        if checkpoint is not None:
+            # Checkpointing composes: chunked streaming over the
+            # ssh-sharded executor.
+            return ChunkedBackend(
+                chunk_size=chunk_size,
+                checkpoint=checkpoint,
+                inner=SSHBackend(hosts),
+            )
+        return SSHBackend(hosts)
+    raise ValueError(f"unknown backend {name!r}; known: {', '.join(BACKENDS)}")

@@ -1,0 +1,149 @@
+"""Process-pool execution with finish-only crash recovery.
+
+This is the behaviour ``run_cells`` has always had — a
+``concurrent.futures.ProcessPoolExecutor`` fanning cells across local
+cores — with one important repair: when the pool breaks (a worker
+segfaults, gets OOM-killed, or the sandbox forbids subprocesses
+mid-run), only the cells **without a completed result** are re-run
+serially. The old fallback re-ran the *entire* grid, so a
+``BrokenProcessPool`` after cell 9,999 of 10,000 repeated all 10,000
+cells and double-counted their ``wall_s``.
+
+Cells are yielded in completion order via ``as_completed``; the
+deterministic grid ordering callers see is restored by the reordering
+wrapper in :mod:`repro.scenario.sweep`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import warnings
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.exec.base import BackendBase, CellJob, execute_job
+
+__all__ = ["ProcessPoolBackend"]
+
+
+class ProcessPoolBackend(BackendBase):
+    """Fan jobs across a local process pool; resume survivors serially.
+
+    ``workers=None`` sizes the pool to the job list (capped by the OS
+    CPU count); ``workers=0`` forces serial in-process execution.
+    ``_executor_factory`` exists for the fault-injection tests — it
+    lets them hand in an executor that breaks on cue without having to
+    kill a real worker process.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        _executor_factory: Callable[[int], Any] | None = None,
+    ) -> None:
+        super().__init__()
+        self.workers = workers
+        self._executor_factory = _executor_factory or (
+            lambda n: concurrent.futures.ProcessPoolExecutor(max_workers=n)
+        )
+        self._pool: Any = None
+        #: cells re-executed in-process after a pool failure (telemetry
+        #: for the resume-only-unfinished contract)
+        self.serial_reruns = 0
+
+    def _run_serially(self, jobs: Sequence[CellJob]) -> Iterator[Any]:
+        for job in jobs:
+            if self._cancelled:
+                return
+            self.serial_reruns += 1
+            yield execute_job(job)
+
+    def submit(self, jobs: Sequence[CellJob]) -> Iterator[Any]:
+        jobs = list(jobs)
+        if not jobs:
+            return
+        if self.workers == 0 or len(jobs) <= 1:
+            for job in jobs:
+                if self._cancelled:
+                    return
+                yield execute_job(job)
+            return
+        max_workers = min(len(jobs), self.workers or os.cpu_count() or 1)
+        if self._pool is None:
+            # The pool is created lazily and *kept* across submit()
+            # calls — a ChunkedBackend feeding chunk after chunk reuses
+            # the same worker processes instead of re-forking per
+            # chunk. close() (or a broken pool) tears it down.
+            try:
+                self._pool = self._executor_factory(max_workers)
+            except (OSError, PermissionError) as exc:
+                # Restricted sandboxes surface missing subprocess
+                # support at pool creation; degrade to serial, loudly.
+                warnings.warn(
+                    f"process pool unavailable ({exc!r}); running the "
+                    "grid serially in-process",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                yield from self._run_serially(jobs)
+                return
+        pool = self._pool
+        finished: set[int] = set()
+        broken: BaseException | None = None
+        futures: dict[Any, CellJob] = {}
+        try:
+            # Built incrementally (not a comprehension) so that a pool
+            # break mid-submission still leaves the already-submitted
+            # futures in the map for the salvage pass below. submit()
+            # can only fail for pool-machinery reasons (a cell's own
+            # error surfaces later, via its future).
+            for job in jobs:
+                futures[pool.submit(execute_job, job)] = job
+        except (OSError, PermissionError, BrokenProcessPool) as exc:
+            broken = exc
+        if broken is None:
+            try:
+                for future in concurrent.futures.as_completed(futures):
+                    if self._cancelled:
+                        break
+                    # Only BrokenProcessPool means the *pool* died; any
+                    # other exception is the cell's own failure and
+                    # propagates to the caller undisturbed.
+                    cell = future.result()
+                    finished.add(futures[future].index)
+                    yield cell
+            except BrokenProcessPool as exc:
+                broken = exc
+        if broken is not None:
+            # Salvage results that completed before the pool died
+            # but had not been yielded yet — they are real work,
+            # not to be repeated.
+            for future, job in futures.items():
+                if job.index in finished or not future.done():
+                    continue
+                if future.cancelled() or future.exception() is not None:
+                    continue
+                finished.add(job.index)
+                yield future.result()
+        if broken is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if broken is not None and not self._cancelled:
+            # A broken pool can mean a genuinely crashing worker (e.g.
+            # OOM) — warn, then finish ONLY the cells that never
+            # produced a result; completed work is never repeated.
+            unfinished = [job for job in jobs if job.index not in finished]
+            warnings.warn(
+                f"process pool died ({broken!r}); resuming the "
+                f"{len(unfinished)} unfinished of {len(jobs)} cells "
+                "serially in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            yield from self._run_serially(unfinished)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None

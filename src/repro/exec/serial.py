@@ -1,0 +1,27 @@
+"""In-process serial execution: the reference backend.
+
+Every other backend's output is defined as "identical to
+:class:`SerialBackend`, modulo completion order and ``wall_s``" — the
+equivalence the hypothesis model tests in
+``tests/test_exec_backends.py`` enforce. It is also the fallback the
+pooled backends degrade to when the platform cannot spawn worker
+processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.exec.base import BackendBase, CellJob, execute_job
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend(BackendBase):
+    """Run every job in the calling process, one at a time, in order."""
+
+    def submit(self, jobs: Sequence[CellJob]) -> Iterator[Any]:
+        for job in jobs:
+            if self._cancelled:
+                return
+            yield execute_job(job)

@@ -1,0 +1,255 @@
+"""Multi-host sharding over ``sfs-experiment worker`` subprocesses.
+
+:class:`SSHBackend` is the "second machine" step of the execution
+stack: one worker subprocess per host, each speaking the line-JSON
+protocol of :mod:`repro.exec.worker` over stdio. Hosts named
+``"local"``/``"localhost"`` run the worker as a direct child of this
+interpreter (no ssh, no network — which is also how the tests exercise
+the full wire protocol); anything else is reached via
+``ssh -o BatchMode=yes <host> sfs-experiment worker``, so a host is
+usable the moment the package is installed there and key-based ssh
+works.
+
+Scheduling is pull-based: each host thread pops the next job off a
+shared queue, ships it, and blocks for the result — so fast hosts
+naturally take more cells and a heterogeneous fleet needs no static
+partitioning. A host whose worker dies (connection drop, crash,
+missing install) simply stops pulling; its in-flight job goes back on
+the queue, and if every host dies the remaining cells finish serially
+in-process — same degrade-loudly semantics as the pooled backends.
+
+This backend is deliberately a *stub* of a distributed runner: no
+retries-with-backoff, no host weighting, no result caching. Compose it
+with a :class:`~repro.exec.chunked.ChunkedBackend` checkpoint file
+(``run_cells(..., backend=SSHBackend(...), checkpoint=...)`` wires
+that up) to make multi-host runs resumable.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import subprocess
+import sys
+import threading
+import warnings
+from typing import Any, Iterator, Sequence
+
+from repro.exec.base import BackendBase, CellJob, cell_from_json, execute_job
+from repro.exec.worker import PROTOCOL_VERSION, encode_scenario
+
+__all__ = ["SSHBackend", "LOCAL_HOSTS"]
+
+#: host aliases that mean "spawn the worker as a local child process"
+LOCAL_HOSTS = frozenset({"local", "localhost"})
+
+
+class _WorkerDied(Exception):
+    """The host's worker process went away mid-conversation."""
+
+
+class SSHBackend(BackendBase):
+    """Shard a grid across per-host worker subprocesses.
+
+    Parameters
+    ----------
+    hosts:
+        One entry per worker: ``"local"``/``"localhost"`` for a child
+        process of this interpreter, any other string for an ssh host.
+        Repeating a host runs that many workers on it.
+    remote_command:
+        The command that starts the worker on a remote host (default
+        ``sfs-experiment``, i.e. the installed console script).
+    """
+
+    def __init__(
+        self,
+        hosts: Sequence[str],
+        remote_command: str = "sfs-experiment",
+    ) -> None:
+        super().__init__()
+        if not hosts:
+            raise ValueError("SSHBackend needs at least one host")
+        self.hosts = tuple(hosts)
+        self.remote_command = remote_command
+        self._procs: list[subprocess.Popen] = []
+        self._lock = threading.Lock()
+
+    # -- worker process plumbing ---------------------------------------
+
+    def _spawn(self, host: str) -> subprocess.Popen:
+        if host in LOCAL_HOSTS:
+            argv = [sys.executable, "-m", "repro.experiments.cli", "worker"]
+        else:
+            argv = [
+                "ssh",
+                "-o",
+                "BatchMode=yes",
+                host,
+                self.remote_command,
+                "worker",
+            ]
+        proc = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            bufsize=1,  # line buffered
+        )
+        with self._lock:
+            self._procs.append(proc)
+        return proc
+
+    @staticmethod
+    def _read_message(proc: subprocess.Popen) -> dict[str, Any]:
+        """Next protocol line from the worker; skip ssh banner noise."""
+        assert proc.stdout is not None
+        while True:
+            line = proc.stdout.readline()
+            if not line:
+                raise _WorkerDied("worker closed its stdout")
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                message = json.loads(line)
+            except ValueError:
+                continue  # motd / banner chatter before the hello line
+            if isinstance(message, dict) and "op" in message:
+                return message
+
+    def _host_loop(
+        self,
+        host: str,
+        jobs: "queue.SimpleQueue[CellJob]",
+        results: "queue.Queue[tuple[str, Any]]",
+    ) -> None:
+        """One host's pull-execute-report loop (runs in a thread)."""
+        proc = None
+        current: CellJob | None = None
+        try:
+            proc = self._spawn(host)
+            hello = self._read_message(proc)
+            if hello.get("op") != "hello" or hello.get("version") != PROTOCOL_VERSION:
+                raise _WorkerDied(f"bad handshake {hello!r}")
+            assert proc.stdin is not None
+            while not self._cancelled:
+                try:
+                    current = jobs.get_nowait()
+                except queue.Empty:
+                    break
+                request = {
+                    "op": "run",
+                    "index": current.index,
+                    "scenario": encode_scenario(current.scenario),
+                    "metrics": list(current.metrics),
+                }
+                proc.stdin.write(json.dumps(request) + "\n")
+                proc.stdin.flush()
+                reply = self._read_message(proc)
+                if reply.get("op") == "result":
+                    results.put(("cell", cell_from_json(reply["cell"])))
+                    current = None
+                elif reply.get("op") == "error":
+                    # The cell itself raised on the worker: a real
+                    # failure of the job, not of the host.
+                    failure = RuntimeError(
+                        f"cell {reply.get('index')} failed on "
+                        f"{host}: {reply.get('error')}"
+                    )
+                    results.put(("raise", failure))
+                    current = None
+                else:
+                    raise _WorkerDied(f"unexpected reply {reply!r}")
+            if proc.stdin is not None and proc.poll() is None:
+                proc.stdin.write(json.dumps({"op": "shutdown"}) + "\n")
+                proc.stdin.flush()
+        except (_WorkerDied, OSError, ValueError) as exc:
+            if current is not None:
+                jobs.put(current)  # hand the in-flight cell back
+            results.put(("lost", (host, repr(exc))))
+        finally:
+            if proc is not None:
+                self._reap(proc)
+            results.put(("exit", host))
+
+    def _reap(self, proc: subprocess.Popen) -> None:
+        """Terminate and wait a worker so it never lingers as a zombie."""
+        if proc.poll() is None:
+            proc.terminate()
+        try:
+            proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+            proc.kill()
+            proc.wait(timeout=5.0)
+        with self._lock:
+            if proc in self._procs:
+                self._procs.remove(proc)
+
+    # -- the backend surface -------------------------------------------
+
+    def submit(self, jobs: Sequence[CellJob]) -> Iterator[Any]:
+        jobs = list(jobs)
+        if not jobs:
+            return
+        todo: "queue.SimpleQueue[CellJob]" = queue.SimpleQueue()
+        for job in jobs:
+            todo.put(job)
+        results: "queue.Queue[tuple[str, Any]]" = queue.Queue()
+        threads = [
+            threading.Thread(
+                target=self._host_loop,
+                args=(host, todo, results),
+                name=f"sfs-ssh-{host}-{i}",
+                daemon=True,
+            )
+            for i, host in enumerate(self.hosts)
+        ]
+        for thread in threads:
+            thread.start()
+        live = len(threads)
+        finished: set[int] = set()
+        try:
+            while live > 0:
+                kind, payload = results.get()
+                if kind == "cell":
+                    finished.add(payload.index)
+                    yield payload
+                elif kind == "raise":
+                    self.cancel()
+                    raise payload
+                elif kind == "lost":
+                    host, why = payload
+                    warnings.warn(
+                        f"worker on {host} died ({why}); its cells go "
+                        "back on the queue",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                elif kind == "exit":
+                    live -= 1
+        finally:
+            for thread in threads:
+                thread.join(timeout=5.0)
+        if self._cancelled:
+            return
+        leftover = [job for job in jobs if job.index not in finished]
+        if leftover:
+            # Every host is gone and work remains: same degrade-loudly
+            # fallback as the pooled backends.
+            warnings.warn(
+                f"all {len(self.hosts)} host worker(s) gone; running the "
+                f"remaining {len(leftover)} cells serially in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            for job in leftover:
+                if self._cancelled:
+                    return
+                yield execute_job(job)
+
+    def close(self) -> None:
+        with self._lock:
+            procs = list(self._procs)
+        for proc in procs:
+            self._reap(proc)

@@ -1,0 +1,110 @@
+"""The ``sfs-experiment worker`` wire protocol: line-JSON over stdio.
+
+One worker process serves one connection: it reads newline-delimited
+JSON requests on stdin and writes one JSON response line (flushed) per
+request to stdout. This is the substrate
+:class:`~repro.exec.sshexec.SSHBackend` shards sweep chunks over —
+locally via a plain subprocess, remotely via ``ssh <host>
+sfs-experiment worker`` — and it is deliberately dumb: no framing
+beyond newlines, no concurrency inside the worker, no state between
+requests.
+
+Requests / responses (all single lines)::
+
+    -> {"op": "ping"}
+    <- {"op": "pong", "version": 1}
+
+    -> {"op": "run", "index": 7, "scenario": "<b64>", "metrics": [...]}
+    <- {"op": "result", "index": 7, "cell": {...}}          # success
+    <- {"op": "error", "index": 7, "error": "<repr>"}       # cell raised
+
+    -> {"op": "shutdown"}
+    <- {"op": "bye"}
+
+The worker also announces itself with ``{"op": "hello", "version": 1}``
+on startup so the backend can tell "connected" from "ssh printed a
+motd". Scenarios travel as base64(zlib(pickle)) — they are arbitrary
+plain-data dataclasses, which JSON cannot carry — so **only run
+workers on hosts you trust with code execution**; that is already true
+of any box you'd ``ssh`` a sweep to. EOF on stdin ends the worker.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import sys
+import zlib
+from typing import Any, TextIO
+
+from repro.exec.base import CellJob, cell_to_json, execute_job
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "encode_scenario",
+    "decode_scenario",
+    "serve",
+]
+
+PROTOCOL_VERSION = 1
+
+
+def encode_scenario(scenario: Any) -> str:
+    """Scenario -> compact single-line ASCII payload."""
+    return base64.b64encode(
+        zlib.compress(pickle.dumps(scenario, pickle.HIGHEST_PROTOCOL))
+    ).decode("ascii")
+
+
+def decode_scenario(payload: str) -> Any:
+    """Inverse of :func:`encode_scenario` (trusted input only)."""
+    return pickle.loads(zlib.decompress(base64.b64decode(payload)))
+
+
+def _reply(stdout: TextIO, message: dict[str, Any]) -> None:
+    stdout.write(json.dumps(message))
+    stdout.write("\n")
+    stdout.flush()
+
+
+def serve(stdin: TextIO | None = None, stdout: TextIO | None = None) -> int:
+    """Serve the worker protocol until shutdown/EOF; returns exit code."""
+    stdin = sys.stdin if stdin is None else stdin
+    stdout = sys.stdout if stdout is None else stdout
+    _reply(stdout, {"op": "hello", "version": PROTOCOL_VERSION})
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+            op = request["op"]
+        except (ValueError, KeyError, TypeError):
+            _reply(stdout, {"op": "error", "error": f"bad request {line!r}"})
+            continue
+        if op == "shutdown":
+            _reply(stdout, {"op": "bye"})
+            return 0
+        if op == "ping":
+            _reply(stdout, {"op": "pong", "version": PROTOCOL_VERSION})
+            continue
+        if op != "run":
+            _reply(stdout, {"op": "error", "error": f"unknown op {op!r}"})
+            continue
+        index = request.get("index")
+        try:
+            job = CellJob(
+                index=int(index),
+                scenario=decode_scenario(request["scenario"]),
+                metrics=tuple(request["metrics"]),
+            )
+            cell = execute_job(job)
+        except Exception as exc:  # ship the failure, keep serving
+            _reply(stdout, {"op": "error", "index": index, "error": repr(exc)})
+            continue
+        _reply(
+            stdout,
+            {"op": "result", "index": job.index, "cell": cell_to_json(cell)},
+        )
+    return 0

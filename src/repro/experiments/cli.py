@@ -13,8 +13,17 @@ Subcommands:
   high-N server scenario family (Poisson arrivals, heavy-tailed
   demands, mixed weight classes) and report per-class shares plus
   simulator throughput (events/sec);
+- ``sfs-experiment worker`` — serve the line-JSON execution-backend
+  worker protocol over stdio (what ``SSHBackend`` sshes into);
 - ``sfs-experiment list`` — show experiment ids, registered scheduler
   names and canned sweep metrics.
+
+The grid-running subcommands (``sweep``, ``server``, and the
+backend-aware experiments under ``run``) accept ``--backend
+{serial,process,chunked,ssh}`` plus ``--checkpoint PATH`` — chunked
+runs stream results with bounded memory and survive kill-and-resume
+via the JSONL checkpoint; ``--host`` shards cells across
+``sfs-experiment worker`` processes on other machines.
 
 For backwards compatibility, ``sfs-experiment <id|all>`` (without the
 ``run`` subcommand) still works.
@@ -27,10 +36,15 @@ import dataclasses
 import json
 import os
 import sys
-import time
 from typing import Any, Callable
 
-from repro.analysis.csvout import write_rows, write_series
+from repro.analysis.csvout import (
+    JsonArrayStream,
+    RowStream,
+    write_rows,
+    write_series,
+)
+from repro.exec import BACKENDS, make_backend, serve_worker
 from repro.experiments import (
     fig1_infeasible,
     fig3_heuristic,
@@ -48,11 +62,11 @@ from repro.scenario import (
     SERVER_WEIGHT_CLASSES,
     Scenario,
     Sweep,
-    class_shares,
     group,
-    run_scenario,
-    run_sweep,
+    run_cells,
     server_scenario,
+    stream_cells,
+    sweep_scenarios,
     task,
 )
 from repro.schedulers.registry import scheduler_names
@@ -104,12 +118,24 @@ _DESCRIPTIONS = {
 }
 
 
-def _run_experiment(name: str) -> tuple[str, list[tuple[str, Any]]]:
-    """Run every variant of one experiment: (rendered text, results)."""
+#: experiments whose run() accepts workers/backend/checkpoint kwargs
+_EXEC_AWARE = frozenset({"saturation", "sensitivity"})
+
+
+def _run_experiment(
+    name: str, exec_opts: dict[str, Any] | None = None
+) -> tuple[str, list[tuple[str, Any]]]:
+    """Run every variant of one experiment: (rendered text, results).
+
+    ``exec_opts`` (workers/backend/checkpoint) is forwarded to the
+    experiments that run grids through an execution backend; the
+    paper-figure experiments ignore it.
+    """
     rendered: list[str] = []
     results: list[tuple[str, Any]] = []
+    kwargs = exec_opts if (exec_opts and name in _EXEC_AWARE) else {}
     for label, run_thunk, render_fn in _VARIANTS[name]:
-        result = run_thunk()
+        result = run_thunk(**kwargs)
         rendered.append(render_fn(result))
         results.append((label, result))
     return "\n\n".join(rendered), results
@@ -249,12 +275,56 @@ def _export_json(outdir: str, name: str, label: str, result: Any) -> str:
 # subcommands
 # ----------------------------------------------------------------------
 
+def _cli_backend(args: argparse.Namespace, checkpoint: str | None):
+    """Build the ExecutionBackend an invocation asked for (or None).
+
+    ``--backend`` names are resolved through
+    :func:`repro.exec.make_backend` so ``--chunk-size``/``--host``
+    apply; ``--checkpoint`` without ``--backend`` selects the default
+    checkpointing chunked runner inside ``run_cells`` (which also
+    honors ``--chunk-size`` via the forwarded kwarg).
+    """
+    if args.backend is None:
+        return None
+    return make_backend(
+        args.backend,
+        workers=args.workers,
+        checkpoint=checkpoint,
+        chunk_size=args.chunk_size,
+        hosts=tuple(args.host or ()),
+    )
+
+
+def _exec_opts(
+    args: argparse.Namespace, checkpoint: str | None
+) -> dict[str, Any]:
+    """The workers/backend/checkpoint kwargs a subcommand requested."""
+    opts: dict[str, Any] = {}
+    if args.workers is not None:
+        opts["workers"] = args.workers
+    backend = _cli_backend(args, checkpoint)
+    if backend is not None:
+        opts["backend"] = backend
+    elif checkpoint is not None:
+        opts["checkpoint"] = checkpoint
+        opts["chunk_size"] = args.chunk_size
+    return opts
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     exported: list[str] = []
     for name in names:
+        # Each backend-aware experiment runs a *different* grid, so a
+        # shared checkpoint file would be rejected by the fingerprint
+        # check; with several experiments in one invocation the path
+        # gains a per-experiment suffix.
+        checkpoint = args.checkpoint
+        if checkpoint is not None and len(names) > 1:
+            checkpoint = f"{checkpoint}.{name}"
+        exec_opts = _exec_opts(args, checkpoint) if name in _EXEC_AWARE else {}
         print(f"=== {name} " + "=" * (70 - len(name)))
-        text, results = _run_experiment(name)
+        text, results = _run_experiment(name, exec_opts)
         print(text)
         print()
         for label, result in results:
@@ -291,45 +361,55 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         quanta=tuple(args.quantum),
         metrics=metrics,
     )
-    cells = run_sweep(sweep, workers=args.workers)
+    scenarios = sweep_scenarios(sweep)
     header = f"{'scheduler':16s} {'cpus':>4s} {'quantum':>8s} {'jains':>7s} {'heavy':>7s} {'ctx':>8s}"
-    print(f"sweep: {len(cells)} cells "
+    print(f"sweep: {len(scenarios)} cells "
           f"({len(args.scheduler) or 1} schedulers x {len(args.cpus) or 1} cpus"
           f" x {len(args.quantum) or 1} quanta)")
     print(header)
-    rows = []
-    for cell in cells:
-        shares = cell.metrics["shares"]
-        row = (
-            cell.scheduler,
-            cell.cpus,
-            cell.quantum,
-            cell.metrics["jains"],
-            shares["heavy"],
-            cell.metrics["context_switches"],
-        )
-        rows.append(row)
-        print(
-            f"{row[0]:16s} {row[1]:4d} {row[2]:8g} {row[3]:7.4f} "
-            f"{row[4]:7.4f} {row[5]:8d}"
-        )
     headers = ["scheduler", "cpus", "quantum", "jains", "heavy_share",
                "context_switches"]
+    # Streaming export: each cell's row is printed and flushed to
+    # CSV/JSON the moment the backend delivers it (grid order), so a
+    # 10^4-cell grid never materialises in memory and a killed run
+    # keeps every finished row.
+    csv_stream = json_stream = None
     if args.csv:
-        path = write_rows(
-            os.path.join(args.csv, "sweep.csv"), headers, rows
-        )
-        print(f"wrote {path}", file=sys.stderr)
+        csv_stream = RowStream(os.path.join(args.csv, "sweep.csv"), headers)
     if args.json:
-        os.makedirs(args.json, exist_ok=True)
-        path = os.path.join(args.json, "sweep.json")
-        with open(path, "w") as fh:
-            json.dump(
-                [dict(zip(headers, row)) for row in rows],
-                fh, indent=2,
+        json_stream = JsonArrayStream(os.path.join(args.json, "sweep.json"))
+    try:
+        cells = stream_cells(
+            scenarios,
+            metrics,
+            workers=args.workers,
+            backend=_cli_backend(args, args.checkpoint),
+            checkpoint=args.checkpoint,
+            chunk_size=args.chunk_size,
+        )
+        for cell in cells:
+            shares = cell.metrics["shares"]
+            row = (
+                cell.scheduler,
+                cell.cpus,
+                cell.quantum,
+                cell.metrics["jains"],
+                shares["heavy"],
+                cell.metrics["context_switches"],
             )
-            fh.write("\n")
-        print(f"wrote {path}", file=sys.stderr)
+            print(
+                f"{row[0]:16s} {row[1]:4d} {row[2]:8g} {row[3]:7.4f} "
+                f"{row[4]:7.4f} {row[5]:8d}"
+            )
+            if csv_stream is not None:
+                csv_stream.append(row)
+            if json_stream is not None:
+                json_stream.append(dict(zip(headers, row)))
+    finally:
+        for stream in (csv_stream, json_stream):
+            if stream is not None:
+                stream.close()
+                print(f"wrote {stream.path}", file=sys.stderr)
     return 0
 
 
@@ -346,9 +426,8 @@ def _cmd_server(args: argparse.Namespace) -> int:
         f"quantum={args.quantum:g}"
     )
     print(header)
-    rows = []
-    for scheduler in args.scheduler:
-        scenario = server_scenario(
+    scenarios = [
+        server_scenario(
             args.n,
             cpus=args.cpus,
             scheduler=scheduler,
@@ -358,18 +437,31 @@ def _cmd_server(args: argparse.Namespace) -> int:
             cost_model=args.cost_model,
             service_sample_interval=args.sample_interval,
         )
-        t0 = time.perf_counter()
-        result = run_scenario(scenario)
-        wall = time.perf_counter() - t0
-        events = result.machine.engine.events_fired
-        shares = class_shares(result)
+        for scheduler in args.scheduler
+    ]
+    # One cell per scheduler, run through the selected execution
+    # backend; class shares travel back as a canned metric, so cells
+    # can execute in worker processes (or on other hosts).
+    cells = run_cells(
+        scenarios,
+        ("events_fired", "context_switches", "class_shares"),
+        workers=args.workers,
+        backend=_cli_backend(args, args.checkpoint),
+        checkpoint=args.checkpoint,
+        chunk_size=args.chunk_size,
+    )
+    rows = []
+    for scheduler, cell in zip(args.scheduler, cells):
+        events = cell.metrics["events_fired"]
+        wall = cell.wall_s
+        shares = cell.metrics["class_shares"]
         row = {
             "scheduler": scheduler,
             "n": args.n,
             "events": events,
             "wall_s": round(wall, 4),
             "events_per_sec": round(events / wall) if wall > 0 else 0,
-            "context_switches": result.trace.context_switches,
+            "context_switches": cell.metrics["context_switches"],
             **{f"share_{name}": shares[name] for name in class_names},
         }
         rows.append(row)
@@ -413,6 +505,35 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_exec_args(parser: argparse.ArgumentParser) -> None:
+    """Execution-backend options shared by the grid-running commands."""
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker-process count (0 forces serial execution)",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="execution backend: serial, process (local pool), chunked "
+        "(bounded-memory streaming + resumable checkpoint), or ssh "
+        "(shard across `sfs-experiment worker` hosts)",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="JSONL checkpoint file: finished cells are appended as "
+        "they complete, and a re-run with the same grid resumes, "
+        "skipping them",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=64, metavar="N",
+        help="cells in flight per chunk for the chunked backend",
+    )
+    parser.add_argument(
+        "--host", action="append", metavar="HOST", default=None,
+        help="worker host for --backend ssh ('local' spawns a local "
+        "subprocess); repeat for more hosts",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sfs-experiment",
@@ -437,6 +558,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", metavar="DIR", default=None,
         help="also export result data as JSON files into DIR",
     )
+    _add_exec_args(p_run)
 
     p_sweep = sub.add_parser(
         "sweep",
@@ -466,14 +588,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=10.0, metavar="SEC",
         help="simulated seconds per cell",
     )
-    p_sweep.add_argument(
-        "--workers", type=int, default=None, metavar="N",
-        help="process-pool size (0 forces serial execution)",
-    )
     p_sweep.add_argument("--csv", metavar="DIR", default=None,
                          help="write sweep.csv into DIR")
     p_sweep.add_argument("--json", metavar="DIR", default=None,
                          help="write sweep.json into DIR")
+    _add_exec_args(p_sweep)
 
     p_server = sub.add_parser(
         "server",
@@ -517,7 +636,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="write server.csv into DIR")
     p_server.add_argument("--json", metavar="DIR", default=None,
                           help="write server.json into DIR")
+    _add_exec_args(p_server)
 
+    sub.add_parser(
+        "worker",
+        help="serve the execution-backend worker protocol "
+        "(line-JSON over stdio; used by --backend ssh)",
+    )
     sub.add_parser("list", help="list experiment ids and scheduler names")
     return parser
 
@@ -529,7 +654,11 @@ def main(argv: list[str] | None = None) -> int:
         argv = ["run", *argv]
     args = _build_parser().parse_args(argv)
     if args.command == "run":
-        return _cmd_run(args)
+        try:
+            return _cmd_run(args)
+        except ValueError as exc:
+            print(f"sfs-experiment run: error: {exc}", file=sys.stderr)
+            return 2
     if args.command == "sweep":
         try:
             return _cmd_sweep(args)
@@ -542,6 +671,8 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             print(f"sfs-experiment server: error: {exc}", file=sys.stderr)
             return 2
+    if args.command == "worker":
+        return serve_worker()
     return _cmd_list(args)
 
 

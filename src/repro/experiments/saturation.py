@@ -12,16 +12,22 @@ scan give up at a given ``k``?
 ``run()`` answers both on the high-N server workload:
 
 - an N x load x policy grid (``sfs``, ``sfs-heuristic``, ``sfq`` by
-  default) executed across the :func:`repro.scenario.sweep.run_cells`
-  process pool, each cell reporting simulator events/sec and the
-  ``sojourn_p50/p95/p99`` canned metrics that sweep workers ship back;
+  default) executed through a pluggable
+  :class:`~repro.exec.ExecutionBackend` (process pool by default; pass
+  ``backend="chunked"`` plus a ``checkpoint`` path to make big grids
+  resumable), each cell reporting simulator events/sec and the
+  ``sojourn_p50/p95/p99`` canned metrics that workers ship back —
+  now paired with the **censored-tail** ``sojourn_p95_censored``,
+  where jobs still in the system contribute their age as a lower
+  bound, so overload rows can't be flattered by completion truncation;
 - a Fig. 3-style accuracy-vs-``k`` curve for the heuristic, measured
   on the *overloaded* server cell (``track_accuracy=True``), where the
   runnable set — and hence the exact scan the heuristic avoids — is
   largest.
 
 ``render()`` charts events/sec vs load and p95 sojourn vs load per
-policy, plus the accuracy curve.
+policy (completed-only and censored side by side), plus the accuracy
+curve.
 """
 
 from __future__ import annotations
@@ -38,9 +44,11 @@ CPUS = 4
 CELL_METRICS = (
     "events_fired",
     "completed",
+    "in_system",
     "sojourn_p50",
     "sojourn_p95",
     "sojourn_p99",
+    "sojourn_p95_censored",
 )
 
 
@@ -57,9 +65,15 @@ class SaturationResult:
     events_per_sec: dict[tuple[str, float], float] = field(default_factory=dict)
     #: jobs completed within the cell's horizon (sojourn denominator)
     completed: dict[tuple[str, float], int] = field(default_factory=dict)
+    #: jobs censored by the horizon (arrived, never completed)
+    in_system: dict[tuple[str, float], int] = field(default_factory=dict)
     sojourn_p50: dict[tuple[str, float], float] = field(default_factory=dict)
     sojourn_p95: dict[tuple[str, float], float] = field(default_factory=dict)
     sojourn_p99: dict[tuple[str, float], float] = field(default_factory=dict)
+    #: censored-tail p95: in-system job ages count as lower bounds
+    sojourn_p95_censored: dict[tuple[str, float], float] = field(
+        default_factory=dict
+    )
     #: p95 sojourn per weight class: (policy, load, class) -> seconds
     sojourn_p95_by_class: dict[tuple[str, float, str], float] = field(
         default_factory=dict
@@ -78,13 +92,20 @@ def run(
     accuracy_n: int = 400,
     seed: int = 42,
     workers: int | None = None,
+    backend=None,
+    checkpoint: str | None = None,
+    chunk_size: int | None = None,
 ) -> SaturationResult:
     """Run the saturation grid and the accuracy-vs-k curve.
 
-    ``workers`` is forwarded to the process pool (0 forces serial).
-    The accuracy cells run serially in-process: they need the finished
-    scheduler object (``track_accuracy`` counters), which summaries
-    shipped back from a pool cannot carry.
+    ``workers``/``backend``/``checkpoint``/``chunk_size`` are
+    forwarded to :func:`repro.scenario.run_cells` (``workers=0``
+    forces serial, ``backend`` names any execution backend,
+    ``checkpoint`` makes the grid resumable). The accuracy cells
+    always run serially
+    in-process: they need the finished scheduler object
+    (``track_accuracy`` counters), which summaries shipped back from a
+    worker cannot carry.
     """
     result = SaturationResult(
         n_tasks=n_tasks,
@@ -108,7 +129,14 @@ def run(
         )
         for policy, load in grid
     ]
-    cells = run_cells(scenarios, CELL_METRICS, workers=workers)
+    cells = run_cells(
+        scenarios,
+        CELL_METRICS,
+        workers=workers,
+        backend=backend,
+        checkpoint=checkpoint,
+        chunk_size=chunk_size,
+    )
     for (policy, load), cell in zip(grid, cells):
         events = cell.metrics["events_fired"]
         wall = cell.wall_s
@@ -116,10 +144,12 @@ def run(
             events / wall if wall > 0 else float("inf")
         )
         result.completed[(policy, load)] = cell.metrics["completed"]
+        result.in_system[(policy, load)] = cell.metrics["in_system"]
         for name, into in (
             ("sojourn_p50", result.sojourn_p50),
             ("sojourn_p95", result.sojourn_p95),
             ("sojourn_p99", result.sojourn_p99),
+            ("sojourn_p95_censored", result.sojourn_p95_censored),
         ):
             into[(policy, load)] = cell.metrics[name].get("all", float("nan"))
         for cls, value in cell.metrics["sojourn_p95"].items():
@@ -146,7 +176,7 @@ def render(result: SaturationResult) -> str:
         f"(N={result.n_tasks}, {result.cpus} CPUs, lmbench cost model)",
         "",
         f"{'policy':16s} {'load':>5s} {'events/s':>10s} {'done':>5s} "
-        f"{'p50':>8s} {'p95':>8s} {'p99':>8s}",
+        f"{'insys':>5s} {'p50':>8s} {'p95':>8s} {'p99':>8s} {'p95cens':>8s}",
     ]
     for policy in result.policies:
         for load in result.loads:
@@ -155,9 +185,11 @@ def render(result: SaturationResult) -> str:
                 f"{policy:16s} {load:5.2f} "
                 f"{result.events_per_sec[key]:10,.0f} "
                 f"{result.completed[key]:5d} "
+                f"{result.in_system[key]:5d} "
                 f"{result.sojourn_p50[key]:8.3f} "
                 f"{result.sojourn_p95[key]:8.3f} "
-                f"{result.sojourn_p99[key]:8.3f}"
+                f"{result.sojourn_p99[key]:8.3f} "
+                f"{result.sojourn_p95_censored[key]:8.3f}"
             )
     lines.append("")
     lines.append(
@@ -187,6 +219,22 @@ def render(result: SaturationResult) -> str:
             title="p95 sojourn vs offered load (completed jobs, seconds)",
             xlabel="offered load (utilization)",
             ylabel="p95 sojourn (s)",
+        )
+    )
+    lines.append("")
+    lines.append(
+        line_chart(
+            {
+                policy: [
+                    (load, result.sojourn_p95_censored[(policy, load)])
+                    for load in result.loads
+                ]
+                for policy in result.policies
+            },
+            title="censored-tail p95 sojourn vs offered load "
+            "(in-system ages as lower bounds, seconds)",
+            xlabel="offered load (utilization)",
+            ylabel="p95 sojourn >= (s)",
         )
     )
     lines.append("")

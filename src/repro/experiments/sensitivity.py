@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments.common import resolve_scheduler
-from repro.scenario import Scenario, ShortJobs, group, run_scenario, task
+from repro.scenario import Scenario, ShortJobs, group, run_cells, task
 
 __all__ = ["SensitivityResult", "run", "render", "scenario", "IDEAL_SHORT_SHARE"]
 
@@ -57,24 +57,44 @@ def scenario(scheduler_name: str, jitter: float, seed: int) -> Scenario:
     )
 
 
-def _one(scheduler_name: str, jitter: float, seed: int) -> float:
-    result = run_scenario(scenario(scheduler_name, jitter, seed))
-    feeder = result.driver("T_short")
-    return feeder.total_service() / result.capacity()
-
-
 def run(
     jitters: tuple[float, ...] = (0.0, 0.02, 0.05, 0.10),
     seeds: tuple[int, ...] = (1, 2, 3),
     schedulers: tuple[str, ...] = ("sfs", "gms-reference"),
+    workers: int | None = 0,
+    backend=None,
+    checkpoint: str | None = None,
+    chunk_size: int | None = None,
 ) -> SensitivityResult:
-    """Sweep jitter x seed for each scheduler."""
+    """Sweep jitter x seed for each scheduler.
+
+    Cells run through :func:`repro.scenario.run_cells` using the
+    ``driver_shares`` canned metric (the T_short feeder's machine
+    share — identical arithmetic to the in-process path, so the golden
+    output is byte-stable across backends). ``workers=0`` (the
+    default) keeps the historical serial execution; pass
+    ``workers=None`` / ``backend`` / ``checkpoint`` to fan the grid
+    out like any other sweep.
+    """
     result = SensitivityResult()
-    for name in schedulers:
-        for jitter in jitters:
-            result.shares[(name, jitter)] = [
-                _one(name, jitter, seed) for seed in seeds
-            ]
+    grid = [
+        (name, jitter, seed)
+        for name in schedulers
+        for jitter in jitters
+        for seed in seeds
+    ]
+    cells = run_cells(
+        [scenario(name, jitter, seed) for name, jitter, seed in grid],
+        ("driver_shares",),
+        workers=workers,
+        backend=backend,
+        checkpoint=checkpoint,
+        chunk_size=chunk_size,
+    )
+    for (name, jitter, seed), cell in zip(grid, cells):
+        result.shares.setdefault((name, jitter), []).append(
+            cell.metrics["driver_shares"]["T_short"]
+        )
     return result
 
 

@@ -62,8 +62,10 @@ from repro.scenario.spec import (
 from repro.scenario.sweep import (
     Sweep,
     SweepCell,
+    cells_in_grid_order,
     run_cells,
     run_sweep,
+    stream_cells,
     sweep_scenarios,
 )
 
@@ -90,10 +92,12 @@ __all__ = [
     "Sweep",
     "SweepCell",
     "TaskSpec",
+    "cells_in_grid_order",
     "group",
     "run_cells",
     "run_scenario",
     "run_sweep",
+    "stream_cells",
     "summarize",
     "sweep_scenarios",
     "task",

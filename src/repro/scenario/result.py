@@ -205,6 +205,39 @@ class SimulationResult:
         """The ``q``-th sojourn percentile over completed tasks."""
         return percentile(list(self.sojourns(prefix).values()), q)
 
+    def censored_sojourns(self, prefix: str = "") -> dict[str, float]:
+        """Sojourns with in-system job *ages* standing in as lower bounds.
+
+        Completed jobs contribute their true sojourn; jobs that arrived
+        but never finished contribute ``duration - arrival_time`` — the
+        time they have already been in the system, a lower bound on the
+        sojourn they will eventually accrue. Under overload the
+        completed-only percentiles systematically flatter the slow
+        policy (the worst jobs are exactly the ones that did not
+        finish); this censored-tail estimate bounds that truncation
+        bias from the other side. Jobs that never arrived are excluded.
+        """
+        out: dict[str, float] = {}
+        for name, t in self.tasks.items():
+            if prefix and not name.startswith(prefix):
+                continue
+            value = _censored_sojourn_of(self, t)
+            if value is not None:
+                out[name] = value
+        return out
+
+    def censored_sojourn_percentile(self, q: float, prefix: str = "") -> float:
+        """The ``q``-th percentile of :meth:`censored_sojourns`."""
+        return percentile(list(self.censored_sojourns(prefix).values()), q)
+
+    def in_system(self) -> int:
+        """Jobs that arrived but had not completed when the run ended."""
+        return sum(
+            1
+            for t in self.tasks.values()
+            if t.arrival_time is not None and t.exit_time is None
+        )
+
     # -- fairness -------------------------------------------------------
 
     def starvation(
@@ -305,6 +338,17 @@ def _percentile_by_class(
     return out
 
 
+def _censored_sojourn_of(
+    result: SimulationResult, t: Task
+) -> float | None:
+    """Sojourn if completed, in-system age if not, None if never arrived."""
+    if t.arrival_time is None:
+        return None
+    if t.exit_time is not None:
+        return t.exit_time - t.arrival_time
+    return result.duration - t.arrival_time
+
+
 def _metric_sojourn_p50(result: SimulationResult) -> dict[str, float]:
     return _percentile_by_class(result, lambda t: t.sojourn_time, 50.0)
 
@@ -329,6 +373,56 @@ def _metric_completed(result: SimulationResult) -> int:
     return sum(1 for t in result.tasks.values() if t.exit_time is not None)
 
 
+def _make_censored_percentile(q: float) -> Callable[[SimulationResult], dict[str, float]]:
+    """Censored-tail sojourn percentile extractor (see censored_sojourns).
+
+    Completed jobs report true sojourns; in-system jobs report their
+    age as a lower bound, so under overload these percentiles can't be
+    flattered by truncation the way the completed-only ones are.
+    """
+
+    def extract(result: SimulationResult) -> dict[str, float]:
+        return _percentile_by_class(
+            result, lambda t: _censored_sojourn_of(result, t), q
+        )
+
+    return extract
+
+
+def _metric_in_system(result: SimulationResult) -> int:
+    """Jobs censored by the horizon (arrived, never completed)."""
+    return result.in_system()
+
+
+def _metric_class_shares(result: SimulationResult) -> dict[str, float]:
+    """Busy-window machine share per server weight class (std/pro/ent).
+
+    Flat and picklable, so backend workers can ship it back for the
+    ``server`` CLI and the scale bench without returning the tasks.
+    """
+    from repro.scenario.server import class_shares
+
+    return class_shares(result)
+
+
+def _metric_driver_shares(result: SimulationResult) -> dict[str, float]:
+    """Machine share of each driver's job stream (e.g. the Fig. 5 feeder).
+
+    ``total_service / capacity`` per driver that tracks its service
+    (currently the ShortJobs feeder); drivers without the accessor are
+    skipped. This is what lets the sensitivity study run its cells
+    through an execution backend: the finished driver object cannot
+    cross a process boundary, but its share can.
+    """
+    capacity = result.capacity()
+    out: dict[str, float] = {}
+    for name, driver in result.drivers.items():
+        total = getattr(driver, "total_service", None)
+        if callable(total):
+            out[name] = total() / capacity
+    return out
+
+
 #: canned metric name -> extractor (flat, picklable values only)
 METRICS = {
     "shares": _metric_shares,
@@ -342,8 +436,14 @@ METRICS = {
     "sojourn_p50": _metric_sojourn_p50,
     "sojourn_p95": _metric_sojourn_p95,
     "sojourn_p99": _metric_sojourn_p99,
+    "sojourn_p50_censored": _make_censored_percentile(50.0),
+    "sojourn_p95_censored": _make_censored_percentile(95.0),
+    "sojourn_p99_censored": _make_censored_percentile(99.0),
+    "in_system": _metric_in_system,
     "dispatch_latency_p95": _metric_dispatch_latency_p95,
     "completed": _metric_completed,
+    "class_shares": _metric_class_shares,
+    "driver_shares": _metric_driver_shares,
 }
 
 

@@ -6,30 +6,45 @@ lengths, runs every cell through
 :func:`~repro.scenario.runner.run_scenario`, and returns one
 :class:`SweepCell` per grid point **in deterministic grid order**
 (scheduler-major, then cpus, then quantum) regardless of how many
-worker processes executed them.
+worker processes — or hosts — executed them.
 
-Execution uses a ``concurrent.futures`` process pool; scenarios are
-plain data, so they pickle cleanly to the workers and only the flat
-metric summaries travel back. Environments without ``fork``/process
-support (or ``workers=0``) degrade to serial in-process execution with
-identical results and ordering.
+Execution is delegated to a pluggable
+:class:`~repro.exec.ExecutionBackend` (serial, process pool, chunked
+streaming with a resume checkpoint, or ssh-sharded workers); this
+module is the thin deterministic-reordering wrapper over the backend's
+completion-order iterator. :func:`run_sweep` / :func:`run_cells` keep
+their historical signatures — ``workers=None`` auto-sizes a local
+pool, ``workers=0`` forces serial execution — so existing callers and
+golden outputs are untouched; new callers pick a backend by name or
+instance and may stream cells incrementally via :func:`stream_cells`.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import itertools
-import os
-import time
-import warnings
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
-from repro.scenario.result import check_metrics, summarize
-from repro.scenario.runner import run_scenario
+from repro.exec import (
+    CellJob,
+    ChunkedBackend,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+)
+from repro.scenario.result import check_metrics
 from repro.scenario.spec import Scenario
 
-__all__ = ["Sweep", "SweepCell", "run_sweep", "run_cells", "sweep_scenarios"]
+__all__ = [
+    "Sweep",
+    "SweepCell",
+    "run_sweep",
+    "run_cells",
+    "stream_cells",
+    "sweep_scenarios",
+    "cells_in_grid_order",
+]
 
 
 @dataclass(frozen=True)
@@ -76,9 +91,7 @@ def sweep_scenarios(sweep: Sweep) -> list[Scenario]:
     cpus = sweep.cpus or (sweep.base.cpus,)
     quanta = sweep.quanta or (sweep.base.quantum,)
     cells = []
-    for scheduler, ncpus, quantum in itertools.product(
-        schedulers, cpus, quanta
-    ):
+    for scheduler, ncpus, quantum in itertools.product(schedulers, cpus, quanta):
         cells.append(
             sweep.base.with_(
                 name=f"{sweep.base.name}[{scheduler}/cpus={ncpus}/q={quantum:g}]",
@@ -97,33 +110,129 @@ def sweep_scenarios(sweep: Sweep) -> list[Scenario]:
     return cells
 
 
-def _run_cell(args: tuple[int, Scenario, tuple[str, ...]]) -> SweepCell:
-    """Worker entry point: run one cell, return its flat summary."""
-    index, scenario, metrics = args
-    t0 = time.perf_counter()
-    result = run_scenario(scenario)
-    wall = time.perf_counter() - t0
-    return SweepCell(
-        index=index,
-        scheduler=scenario.scheduler,
-        cpus=scenario.cpus,
-        quantum=scenario.quantum,
-        metrics=summarize(result, metrics),
-        wall_s=wall,
+def cells_in_grid_order(cells: Iterable[SweepCell]) -> Iterator[SweepCell]:
+    """Reorder a completion-order cell stream into grid (index) order.
+
+    Yields cell ``i`` as soon as every cell ``< i`` has been yielded,
+    holding out-of-order arrivals in a small buffer — so a streaming
+    consumer (incremental CSV export, a progress table) still sees
+    deterministic order without waiting for the whole grid. The buffer
+    is bounded by the completion skew (in practice: the worker count /
+    chunk size), not the grid size.
+    """
+    pending: dict[int, SweepCell] = {}
+    next_index = 0
+    for cell in cells:
+        pending[cell.index] = cell
+        while next_index in pending:
+            yield pending.pop(next_index)
+            next_index += 1
+    # A cancelled/failed backend may leave gaps; flush what remains in
+    # index order rather than dropping it.
+    for index in sorted(pending):
+        yield pending[index]
+
+
+def _resolve_backend(
+    backend: str | ExecutionBackend | None,
+    workers: int | None,
+    checkpoint: str | None,
+    chunk_size: int | None,
+    n_jobs: int,
+) -> tuple[ExecutionBackend, bool]:
+    """(backend to use, whether this call owns/closes it).
+
+    ``backend=None`` preserves the historical ``run_cells`` semantics:
+    serial for ``workers=0`` or single-cell grids, otherwise a local
+    process pool (falling back to serial, loudly, where subprocesses
+    are unavailable) — or a checkpointing chunked runner as soon as a
+    ``checkpoint`` path is given.
+    """
+    chunking = {} if chunk_size is None else {"chunk_size": chunk_size}
+    if backend is None:
+        if checkpoint is not None:
+            return (
+                ChunkedBackend(
+                    workers=workers, checkpoint=checkpoint, **chunking
+                ),
+                True,
+            )
+        if workers == 0 or n_jobs <= 1:
+            return SerialBackend(), True
+        return ProcessPoolBackend(workers=workers), True
+    if isinstance(backend, str):
+        return (
+            make_backend(
+                backend, workers=workers, checkpoint=checkpoint, **chunking
+            ),
+            True,
+        )
+    if checkpoint is not None and not isinstance(backend, ChunkedBackend):
+        # Layer the resume checkpoint over any caller-provided backend.
+        return (
+            ChunkedBackend(checkpoint=checkpoint, inner=backend, **chunking),
+            True,
+        )
+    return backend, False
+
+
+def stream_cells(
+    scenarios: Sequence[Scenario],
+    metrics: tuple[str, ...],
+    workers: int | None = None,
+    backend: str | ExecutionBackend | None = None,
+    checkpoint: str | None = None,
+    chunk_size: int | None = None,
+) -> Iterator[SweepCell]:
+    """Run scenarios through a backend; yield cells in grid order.
+
+    The streaming core of :func:`run_cells`: cells are yielded
+    incrementally (in deterministic grid order, buffering only the
+    completion skew), so a 10^4-cell grid can flush to CSV/JSONL as it
+    runs instead of materialising every result first. ``backend`` is a
+    name from :data:`repro.exec.BACKENDS`, a ready-made
+    :class:`~repro.exec.ExecutionBackend` instance, or ``None`` for
+    the historical pool-or-serial behaviour; ``checkpoint`` makes the
+    run resumable and ``chunk_size`` bounds the in-flight cells (both
+    see :class:`~repro.exec.ChunkedBackend`; ``chunk_size`` is ignored
+    by backends that don't chunk).
+    """
+    check_metrics(metrics)
+    jobs = [
+        CellJob(index=i, scenario=scenario, metrics=tuple(metrics))
+        for i, scenario in enumerate(scenarios)
+    ]
+    resolved, owned = _resolve_backend(
+        backend, workers, checkpoint, chunk_size, len(jobs)
     )
+    try:
+        yield from cells_in_grid_order(resolved.submit(jobs))
+    finally:
+        if owned:
+            resolved.close()
 
 
-def run_sweep(sweep: Sweep, workers: int | None = None) -> list[SweepCell]:
+def run_sweep(
+    sweep: Sweep,
+    workers: int | None = None,
+    backend: str | ExecutionBackend | None = None,
+    checkpoint: str | None = None,
+    chunk_size: int | None = None,
+) -> list[SweepCell]:
     """Run every cell of the grid; results come back in grid order.
 
-    ``workers=None`` sizes the pool to the grid (capped by the OS CPU
-    count); ``workers=0`` forces serial in-process execution. The pool
-    is a plain ``concurrent.futures.ProcessPoolExecutor``; if the
-    platform cannot spawn worker processes the sweep transparently
-    falls back to serial execution.
+    ``workers=None`` sizes the default pool to the grid (capped by the
+    OS CPU count); ``workers=0`` forces serial in-process execution.
+    ``backend``/``checkpoint``/``chunk_size`` select any other
+    execution backend — see :func:`stream_cells`.
     """
     return run_cells(
-        sweep_scenarios(sweep), tuple(sweep.metrics), workers=workers
+        sweep_scenarios(sweep),
+        tuple(sweep.metrics),
+        workers=workers,
+        backend=backend,
+        checkpoint=checkpoint,
+        chunk_size=chunk_size,
     )
 
 
@@ -131,39 +240,27 @@ def run_cells(
     scenarios: Sequence[Scenario],
     metrics: tuple[str, ...],
     workers: int | None = None,
+    backend: str | ExecutionBackend | None = None,
+    checkpoint: str | None = None,
+    chunk_size: int | None = None,
 ) -> list[SweepCell]:
-    """Run an arbitrary list of scenarios across the process pool.
+    """Run an arbitrary list of scenarios through an execution backend.
 
     The generalization :func:`run_sweep` is built on: grids that vary
     more than (scheduler, cpus, quantum) — e.g. the saturation study's
     N x load x policy lattice, where each cell is a *different*
     ``server_scenario`` population — build their own scenario list and
-    feed it here. Results come back in input order with the same
-    pool-or-serial fallback semantics as ``run_sweep``.
+    feed it here. Results come back in input order whatever backend
+    executed them; every backend yields cell lists identical to
+    :class:`~repro.exec.SerialBackend` (modulo ``wall_s``).
     """
-    check_metrics(metrics)
-    jobs = [
-        (i, scenario, tuple(metrics)) for i, scenario in enumerate(scenarios)
-    ]
-    if workers == 0 or len(jobs) <= 1:
-        return [_run_cell(job) for job in jobs]
-    max_workers = min(len(jobs), workers or os.cpu_count() or 1)
-    try:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=max_workers
-        ) as pool:
-            # Executor.map preserves submission order, which is the
-            # deterministic grid order of sweep_scenarios().
-            return list(pool.map(_run_cell, jobs))
-    except (OSError, PermissionError, concurrent.futures.process.BrokenProcessPool) as exc:
-        # Restricted sandboxes surface missing subprocess support either
-        # at pool creation (OSError/PermissionError) or as worker death
-        # (BrokenProcessPool). Degrade to serial, but loudly — a broken
-        # pool can also mean a genuinely crashing worker (e.g. OOM).
-        warnings.warn(
-            f"process pool unavailable ({exc!r}); re-running the sweep "
-            "serially in-process",
-            RuntimeWarning,
-            stacklevel=2,
+    return list(
+        stream_cells(
+            scenarios,
+            metrics,
+            workers=workers,
+            backend=backend,
+            checkpoint=checkpoint,
+            chunk_size=chunk_size,
         )
-        return [_run_cell(job) for job in jobs]
+    )

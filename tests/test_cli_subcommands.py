@@ -162,6 +162,78 @@ class TestServerSubcommand:
         assert "Traceback" not in err
 
 
+class TestExecutionBackendFlags:
+    def test_sweep_chunked_checkpoint_resumes(self, tmp_path, capsys):
+        ck = tmp_path / "ck.jsonl"
+        argv = [
+            "sweep", "--scheduler", "sfs", "sfq", "--cpus", "1", "2",
+            "--duration", "1.0", "--backend", "chunked", "--chunk-size",
+            "2", "--workers", "0", "--checkpoint", str(ck),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert len(ck.read_text().splitlines()) == 4
+        # Second run resumes: same table, no new checkpoint lines.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert second == first
+        assert len(ck.read_text().splitlines()) == 4
+
+    def test_sweep_csv_streams_identically(self, tmp_path, capsys):
+        plain = tmp_path / "plain"
+        chunked = tmp_path / "chunked"
+        base = [
+            "sweep", "--scheduler", "sfs", "sfq", "--cpus", "1",
+            "--duration", "1.0", "--workers", "0",
+        ]
+        assert main(base + ["--csv", str(plain)]) == 0
+        assert main(
+            base + ["--csv", str(chunked), "--backend", "chunked"]
+        ) == 0
+        capsys.readouterr()
+        assert (plain / "sweep.csv").read_bytes() == (
+            chunked / "sweep.csv"
+        ).read_bytes()
+
+    def test_server_backend_flag(self, capsys):
+        code = main([
+            "server", "--n", "40", "--scheduler", "sfs", "--cost-model",
+            "zero", "--backend", "serial",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events/s" in out and out.strip().splitlines()[-1].startswith("sfs")
+
+    def test_run_accepts_backend_flags_on_paper_figures(self, capsys):
+        # Paper figures don't fan out; the flags parse and are ignored.
+        assert main(["run", "fig4", "--backend", "serial"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_ssh_backend_requires_hosts(self, capsys):
+        code = main([
+            "sweep", "--scheduler", "sfs", "--cpus", "1",
+            "--duration", "1.0", "--backend", "ssh",
+        ])
+        assert code == 2
+        assert "at least one --host" in capsys.readouterr().err
+
+
+class TestWorkerSubcommand:
+    def test_worker_serves_ping_over_stdio(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO('{"op": "ping"}\n{"op": "shutdown"}\n')
+        )
+        assert main(["worker"]) == 0
+        replies = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert [r["op"] for r in replies] == ["hello", "pong", "bye"]
+
+
 class TestListSubcommand:
     def test_lists_experiments_and_schedulers(self, capsys):
         assert main(["list"]) == 0

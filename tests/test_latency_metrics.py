@@ -100,6 +100,78 @@ class TestResultAccessors:
         assert lats["std-2"] == pytest.approx(0.2)
 
 
+class TestCensoredSojourns:
+    """In-system job ages as lower bounds (the overload-truncation fix)."""
+
+    def _overloaded(self):
+        # One CPU, 3s horizon, 4s of total demand: std-2 arrives at 1.0
+        # and cannot finish — it is censored with age 3.0 - 1.0 = 2.0.
+        return Scenario(
+            name="censored",
+            scheduler="sfs",
+            cpus=1,
+            quantum=0.2,
+            duration=3.0,
+            tasks=(
+                task("std-1", behavior=Compute(0.5)),
+                task("std-2", behavior=Compute(3.5), at=1.0),
+            ),
+        )
+
+    def test_censored_sojourns_include_in_system_ages(self):
+        result = run_scenario(self._overloaded())
+        censored = result.censored_sojourns()
+        assert censored["std-1"] == pytest.approx(
+            result.task("std-1").sojourn_time
+        )
+        assert result.task("std-2").sojourn_time is None
+        assert censored["std-2"] == pytest.approx(2.0)
+        assert result.in_system() == 1
+
+    def test_never_arrived_jobs_excluded(self):
+        scn = self._overloaded().with_(
+            tasks=(
+                task("std-1", behavior=Compute(0.5)),
+                task("std-2", behavior=Compute(3.5), at=1.0),
+                task("std-3", behavior=Compute(0.5), at=99.0),
+            ),
+            duration=3.0,
+        )
+        result = run_scenario(scn)
+        assert "std-3" not in result.censored_sojourns()
+        assert result.in_system() == 1
+
+    def test_censored_percentile_dominates_completed_max(self):
+        result = run_scenario(self._overloaded())
+        # The censored max is at least the completed max: censoring can
+        # only add mass, never remove the true observations.
+        assert result.censored_sojourn_percentile(
+            100
+        ) >= result.sojourn_percentile(100)
+
+    def test_canned_metrics_match_accessors(self):
+        names = ("sojourn_p95", "sojourn_p95_censored", "in_system")
+        result = run_scenario(self._overloaded().with_(metrics=names))
+        assert result.metrics["in_system"] == 1
+        assert result.metrics["sojourn_p95_censored"][
+            "all"
+        ] == pytest.approx(result.censored_sojourn_percentile(95))
+        # With a censored job in play the estimates must differ here:
+        # the age (2.0) exceeds every completed sojourn (0.5).
+        assert (
+            result.metrics["sojourn_p95_censored"]["all"]
+            > result.metrics["sojourn_p95"]["all"]
+        )
+
+    def test_no_censoring_means_identical_percentiles(self):
+        scn = self._overloaded().with_(duration=6.0)
+        result = run_scenario(scn)
+        assert result.in_system() == 0
+        assert result.censored_sojourn_percentile(95) == pytest.approx(
+            result.sojourn_percentile(95)
+        )
+
+
 class TestCannedMetrics:
     METRIC_NAMES = (
         "sojourn_p50",

@@ -1,5 +1,7 @@
 """Smoke + shape tests for the saturation study (scaled-down grid)."""
 
+import os
+
 import pytest
 
 from repro.experiments import saturation
@@ -7,6 +9,10 @@ from repro.experiments import saturation
 
 @pytest.fixture(scope="module")
 def small_grid():
+    # CI's chunked-backend smoke step sets SFS_SATURATION_BACKEND to
+    # drive the very same grid through the streaming/checkpoint path;
+    # results must be identical to the default serial run.
+    backend = os.environ.get("SFS_SATURATION_BACKEND")
     return saturation.run(
         n_tasks=60,
         loads=(0.8, 1.5),
@@ -14,6 +20,7 @@ def small_grid():
         scan_depths=(2, 20),
         accuracy_n=80,
         workers=0,
+        backend=backend,
     )
 
 
@@ -38,6 +45,20 @@ class TestRun:
                 <= small_grid.sojourn_p99[key]
             )
 
+    def test_censored_tail_bounds_completed_percentile(self, small_grid):
+        keys = {
+            (p, ld) for p in small_grid.policies for ld in small_grid.loads
+        }
+        assert set(small_grid.sojourn_p95_censored) == keys
+        assert set(small_grid.in_system) == keys
+        for key in keys:
+            assert small_grid.sojourn_p95_censored[key] > 0
+            if small_grid.in_system[key] == 0:
+                # Nothing censored: the estimates must coincide exactly.
+                assert small_grid.sojourn_p95_censored[key] == pytest.approx(
+                    small_grid.sojourn_p95[key]
+                )
+
     def test_overload_degrades_latency(self, small_grid):
         for policy in small_grid.policies:
             lo, hi = min(small_grid.loads), max(small_grid.loads)
@@ -56,6 +77,26 @@ class TestRun:
             assert cls in {"std", "pro", "ent"}
             assert value > 0
             assert (policy, load) in small_grid.sojourn_p95
+
+
+class TestExecThreading:
+    def test_checkpoint_and_chunk_size_kwargs_accepted(self, tmp_path):
+        # The CLI forwards checkpoint/chunk_size straight into run();
+        # `sfs-experiment run saturation --checkpoint ck.jsonl` broke
+        # before run() grew the kwarg.
+        ck = tmp_path / "sat.jsonl"
+        result = saturation.run(
+            n_tasks=40,
+            loads=(0.8,),
+            policies=("sfq",),
+            scan_depths=(2,),
+            accuracy_n=40,
+            workers=0,
+            checkpoint=str(ck),
+            chunk_size=1,
+        )
+        assert set(result.events_per_sec) == {("sfq", 0.8)}
+        assert len(ck.read_text().splitlines()) == 1
 
 
 class TestRender:
