@@ -1,0 +1,42 @@
+"""Online invariant auditor for simulated runs.
+
+Streaming observers hooked to the machine's event/dispatch stream check
+the paper's guarantees while a simulation runs:
+
+====================  ================================================
+service_conservation  Σ service == Σ busy CPU time (accounting identity)
+bounded_lag           |service - GMS ideal| within a weight-derived
+                      bound (the §2 premise SFS exists to restore)
+no_starvation         every runnable thread dispatched within its
+                      fair-wait horizon
+surplus_order         each SFS decision picked a minimum-surplus
+                      thread (Eq. 4)
+monotone_vtime        v = min S_i only moves forward, except at a
+                      §3.2 wrap-around rebase
+====================  ================================================
+
+Enable per scenario with ``Scenario(audit=True, ...)`` or on the CLI
+with ``--audit``; the :class:`AuditReport` lands on
+``result.audit_report`` and, as the canned ``"audit"`` metric, inside
+``cell.metrics`` of sweeps.
+"""
+
+from repro.analysis.audit.auditor import DEFAULT_MAX_VIOLATIONS, Auditor
+from repro.analysis.audit.checks import (
+    CHECKS,
+    AuditCheck,
+    audit_check,
+    check_names,
+)
+from repro.analysis.audit.report import AuditReport, AuditViolation
+
+__all__ = [
+    "AuditCheck",
+    "AuditReport",
+    "AuditViolation",
+    "Auditor",
+    "CHECKS",
+    "DEFAULT_MAX_VIOLATIONS",
+    "audit_check",
+    "check_names",
+]

@@ -46,9 +46,7 @@ def gms_deviation(machine: Machine, t_end: float | None = None) -> dict[int, flo
     return out
 
 
-def max_relative_unfairness(
-    tasks: Sequence[Task], t0: float, t1: float
-) -> float:
+def max_relative_unfairness(tasks: Sequence[Task], t0: float, t1: float) -> float:
     """Worst pairwise |A_i/phi_i - A_j/phi_j| over [t0, t1), per second.
 
     Eq. 2 says this should approach zero for continuously runnable
@@ -97,7 +95,9 @@ def starvation_intervals(
     return intervals
 
 
-def longest_starvation(task: Task, t0: float, t1: float, resolution: float = 0.1) -> float:
+def longest_starvation(
+    task: Task, t0: float, t1: float, resolution: float = 0.1
+) -> float:
     """Length of the longest no-progress interval in [t0, t1)."""
     intervals = starvation_intervals(task, t0, t1, resolution)
     if not intervals:

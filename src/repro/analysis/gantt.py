@@ -77,15 +77,11 @@ def gantt_chart(
     hi = t1 if t1 is not None else max(iv.end for iv in machine.trace.run_intervals)
     cells = occupancy(machine, lo, hi, width)
     tids = sorted({iv.tid for iv in machine.trace.run_intervals})
-    glyph = {
-        tid: _GLYPHS[i % len(_GLYPHS)] for i, tid in enumerate(tids)
-    }
+    glyph = {tid: _GLYPHS[i % len(_GLYPHS)] for i, tid in enumerate(tids)}
     names = {t.tid: t.name for t in machine.tasks}
     lines = [f"schedule [{lo:.3f}s, {hi:.3f}s), {width} buckets:"]
     for cpu in sorted(cells):
-        row = "".join(
-            glyph[tid] if tid is not None else "." for tid in cells[cpu]
-        )
+        row = "".join(glyph[tid] if tid is not None else "." for tid in cells[cpu])
         lines.append(f"cpu{cpu} |{row}")
     legend = "  ".join(
         f"{glyph[tid]}={names.get(tid, tid)}" for tid in tids[: min(len(tids), 12)]

@@ -1,0 +1,56 @@
+"""Repo-specific AST linter for determinism and soundness conventions.
+
+Six rules, registered like schedulers (``@rule`` mirrors
+``@register``), runnable as ``sfs-experiment lint`` or
+``python -m repro.analysis.staticcheck``:
+
+======  ==============================================================
+SFS001  no module-level / unseeded RNG draws in simulation code
+SFS002  no wall-clock reads in simulation code
+SFS003  no set iteration feeding sort-free ordered output
+SFS004  registry hygiene: docstring + unique sane name per entry
+SFS005  no float ``==``/``!=`` on tag/surplus arithmetic
+SFS006  Scenario/SweepCell payloads must stay pickle-safe
+======  ==============================================================
+
+Waive a single finding inline with ``# sfs-lint: disable=SFSnnn``.
+"""
+
+from repro.analysis.staticcheck.rules import (
+    RULES,
+    SIM_SCOPES,
+    LintRule,
+    Violation,
+    disabled_ids_by_line,
+    make_rules,
+    rule,
+    rule_ids,
+)
+from repro.analysis.staticcheck import checks  # noqa: F401  (registers rules)
+from repro.analysis.staticcheck.engine import (
+    DEFAULT_ROOTS,
+    discover_files,
+    lint_paths,
+    lint_source,
+    main,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "RULES",
+    "SIM_SCOPES",
+    "LintRule",
+    "Violation",
+    "DEFAULT_ROOTS",
+    "disabled_ids_by_line",
+    "discover_files",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "make_rules",
+    "render_json",
+    "render_text",
+    "rule",
+    "rule_ids",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.analysis.staticcheck`` — run the repo linter."""
+
+import sys
+
+from repro.analysis.staticcheck.engine import main
+
+sys.exit(main())

@@ -1,0 +1,244 @@
+"""Lint driver: file discovery, scope filtering, suppression, rendering.
+
+The engine walks the requested paths, parses every ``*.py`` file once,
+runs each registered rule whose scope matches the file, drops findings
+suppressed by an inline ``# sfs-lint: disable=`` pragma, and renders
+the rest as text or JSON. Exposed as ``sfs-experiment lint`` and
+``python -m repro.analysis.staticcheck``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.staticcheck import checks  # noqa: F401  (registers rules)
+from repro.analysis.staticcheck.rules import (
+    LintRule,
+    Violation,
+    disabled_ids_by_line,
+    make_rules,
+    rule_ids,
+)
+
+__all__ = [
+    "DEFAULT_ROOTS",
+    "discover_files",
+    "lint_source",
+    "lint_paths",
+    "render_text",
+    "render_json",
+    "main",
+]
+
+#: what a bare ``sfs-experiment lint`` scans, relative to the repo root
+DEFAULT_ROOTS: tuple[str, ...] = ("src", "tests", "benchmarks")
+
+#: directories never descended into
+_SKIP_DIRS = frozenset(
+    {
+        ".git",
+        "__pycache__",
+        ".ruff_cache",
+        ".pytest_cache",
+        "build",
+        "dist",
+        ".venv",
+        "venv",
+    }
+)
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(sub.parts):
+                    out.add(sub)
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def _file_scope(path: Path) -> str | None:
+    """The repro package a file belongs to (``sim``, ``core``, ...).
+
+    Inferred from the path parts following a ``repro`` component, so it
+    works for both ``src/repro/sim/machine.py`` and installed layouts.
+    Files outside the ``repro`` package (tests, benchmarks, scripts)
+    have no scope and only run scope-less rules.
+    """
+    parts = path.parts
+    for i, part in enumerate(parts[:-1]):
+        if part == "repro":
+            return parts[i + 1] if i + 1 < len(parts) - 1 else None
+    return None
+
+
+def _applies(rule: LintRule, scope: str | None) -> bool:
+    return rule.scopes is None or scope in rule.scopes
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    rules: Iterable[LintRule] | None = None,
+    scope: str | None = None,
+) -> list[Violation]:
+    """Lint one source string (the unit-test entry point).
+
+    ``scope`` simulates the file living in that repro package; rules
+    restricted to other scopes are skipped. Cross-file (:meth:`finish`)
+    findings are included, so single-file duplicate detection works.
+    """
+    active = list(rules) if rules is not None else make_rules()
+    tree = ast.parse(source)
+    disabled = disabled_ids_by_line(source)
+    found: list[Violation] = []
+    for lint_rule in active:
+        if not _applies(lint_rule, scope):
+            continue
+        found.extend(lint_rule.check(tree, source, path))
+    if rules is None:
+        for lint_rule in active:
+            found.extend(lint_rule.finish())
+    return _suppress(found, {path: disabled})
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+) -> tuple[list[Violation], int]:
+    """Lint files/directories; returns (violations, files_checked)."""
+    rules = make_rules(select)
+    files = discover_files(paths)
+    found: list[Violation] = []
+    disabled_by_path: dict[str, dict[int, frozenset[str]]] = {}
+    for file in files:
+        try:
+            source = file.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(file))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            found.append(
+                Violation(
+                    rule="SFS000",
+                    path=str(file),
+                    line=getattr(exc, "lineno", 1) or 1,
+                    col=0,
+                    message=f"file does not parse: {exc.__class__.__name__}",
+                )
+            )
+            continue
+        path_str = str(file)
+        disabled_by_path[path_str] = disabled_ids_by_line(source)
+        scope = _file_scope(file)
+        for lint_rule in rules:
+            if _applies(lint_rule, scope):
+                found.extend(lint_rule.check(tree, source, path_str))
+    for lint_rule in rules:
+        found.extend(lint_rule.finish())
+    return _suppress(found, disabled_by_path), len(files)
+
+
+def _suppress(
+    violations: Iterable[Violation],
+    disabled_by_path: dict[str, dict[int, frozenset[str]]],
+) -> list[Violation]:
+    """Drop violations waived by an inline pragma on their line."""
+    kept = []
+    for v in violations:
+        ids = disabled_by_path.get(v.path, {}).get(v.line, frozenset())
+        if v.rule in ids or "all" in ids:
+            continue
+        kept.append(v)
+    return sorted(kept, key=lambda v: (v.path, v.line, v.col, v.rule))
+
+
+def render_text(violations: Sequence[Violation], files_checked: int) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [v.render() for v in violations]
+    noun = "violation" if len(violations) == 1 else "violations"
+    lines.append(f"{len(violations)} {noun} in {files_checked} files checked")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation], files_checked: int) -> str:
+    """Machine-readable report (``--format json``)."""
+    return json.dumps(
+        {
+            "files_checked": files_checked,
+            "violations": [v.to_json() for v in violations],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; exit status 0 = clean, 1 = findings, 2 = usage."""
+    parser = argparse.ArgumentParser(
+        prog="sfs-experiment lint",
+        description=(
+            "Repo-specific determinism/soundness linter (rules "
+            + ", ".join(rule_ids())
+            + "). Waive a finding inline with '# sfs-lint: disable=SFSnnn'."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_ROOTS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_ROOTS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in sorted_rules():
+            scopes = ",".join(cls.scopes) if cls.scopes else "all files"
+            print(f"{rule_id}  [{scopes}]  {cls.title}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+    try:
+        violations, files_checked = lint_paths(args.paths, select=select)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(violations, files_checked))
+    return 1 if violations else 0
+
+
+def sorted_rules():
+    """(id, class) pairs in id order — shared by --list-rules and docs."""
+    from repro.analysis.staticcheck.rules import RULES
+
+    return sorted(RULES.items())

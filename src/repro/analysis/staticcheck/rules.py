@@ -1,0 +1,187 @@
+"""Rule registry and base machinery for the repo-specific linter.
+
+The determinism conventions this repository lives by — seeded RNGs
+threaded through scenarios, no wall clock inside the simulator, no
+hash-order leaks into rendered output — were tribal knowledge enforced
+only by review. Each convention is now a registered :class:`LintRule`
+with a stable ``SFSnnn`` id, so ``sfs-experiment lint`` (and the
+blocking CI job behind it) can enforce them mechanically.
+
+Rules are registered with the :func:`rule` decorator, mirroring the
+``@register`` pattern of :mod:`repro.schedulers.registry`::
+
+    @rule("SFS001", scopes=SIM_SCOPES)
+    class UnseededRandomRule(LintRule):
+        \"\"\"What the rule enforces and why.\"\"\"
+        ...
+
+Every lint run instantiates fresh rule objects (:func:`make_rules`), so
+rules may keep per-run state — SFS004 uses this to detect registry
+names duplicated *across* files via the :meth:`LintRule.finish` hook.
+
+Suppression is inline and per-line: a violation whose line carries a
+``# sfs-lint: disable=SFS001`` comment (comma-separated ids, or
+``all``) is dropped. There is deliberately no file-level or global
+suppression — every waiver sits next to the code it excuses, where
+review can see it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = [
+    "LintRule",
+    "Violation",
+    "RULES",
+    "SIM_SCOPES",
+    "rule",
+    "make_rules",
+    "rule_ids",
+    "disabled_ids_by_line",
+]
+
+#: the packages that constitute "simulation code": everything whose
+#: behaviour must be a pure function of the scenario spec and its seeds
+SIM_SCOPES: tuple[str, ...] = (
+    "sim",
+    "scenario",
+    "schedulers",
+    "core",
+    "workloads",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: (rule, file, position, message)."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line ``path:line:col: SFSnnn message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        """Machine-readable form (the ``--format json`` output mode)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class LintRule:
+    """Base class for one registered check.
+
+    Subclasses implement :meth:`check` (per file) and may override
+    :meth:`finish` (once per run, after every file was checked) for
+    cross-file properties. ``id``, ``scopes`` and ``title`` are filled
+    in by the :func:`rule` decorator from its arguments and the class
+    docstring.
+    """
+
+    #: stable rule id ("SFS001"); set by the decorator
+    id: str = ""
+    #: one-line summary (first docstring line); set by the decorator
+    title: str = ""
+    #: package scopes the rule applies to (None = every scanned file)
+    scopes: tuple[str, ...] | None = None
+
+    def check(self, tree: ast.AST, source: str, path: str) -> Iterator[Violation]:
+        """Yield violations for one parsed file."""
+        raise NotImplementedError
+
+    def finish(self) -> Iterator[Violation]:
+        """Yield cross-file violations after the whole run (optional)."""
+        return iter(())
+
+    def violation(self, path: str, node: ast.AST, message: str) -> Violation:
+        """Build a Violation anchored at ``node``'s position."""
+        return Violation(
+            rule=self.id,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+#: rule id -> rule class (populated by @rule)
+RULES: dict[str, type[LintRule]] = {}
+
+
+def rule(rule_id: str, *, scopes: tuple[str, ...] | None = None):
+    """Register a :class:`LintRule` subclass under ``rule_id``.
+
+    Returns the class unchanged so the registry stays invisible to the
+    rule's own tests; duplicate ids are rejected exactly like duplicate
+    scheduler names in :func:`repro.schedulers.registry.register`.
+    """
+
+    def decorator(cls: type[LintRule]) -> type[LintRule]:
+        if rule_id in RULES:
+            raise ValueError(f"lint rule {rule_id!r} is already registered")
+        if not (cls.__doc__ or "").strip():
+            raise ValueError(f"lint rule {rule_id!r} needs a docstring")
+        cls.id = rule_id
+        cls.scopes = scopes
+        cls.title = cls.__doc__.strip().splitlines()[0]
+        RULES[rule_id] = cls
+        return cls
+
+    return decorator
+
+
+def make_rules(select: Iterable[str] | None = None) -> list[LintRule]:
+    """Fresh rule instances for one lint run (all, or the named subset)."""
+    if select is None:
+        picked = sorted(RULES)
+    else:
+        picked = list(select)
+        unknown = [r for r in picked if r not in RULES]
+        if unknown:
+            known = ", ".join(sorted(RULES))
+            raise ValueError(f"unknown lint rule(s) {unknown!r}; known: {known}")
+    return [RULES[rule_id]() for rule_id in picked]
+
+
+def rule_ids() -> list[str]:
+    """All registered rule ids, sorted."""
+    return sorted(RULES)
+
+
+#: the inline escape hatch: ``# sfs-lint: disable=SFS001,SFS005`` (or all)
+_DISABLE_RE = re.compile(r"#\s*sfs-lint:\s*disable=([A-Za-z0-9_,\s]+|all)")
+
+
+def disabled_ids_by_line(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule ids disabled on that line.
+
+    The special id ``all`` suppresses every rule on the line. A pragma
+    on a comment-only line waives the *next* line instead, so long
+    statements can keep their waiver (and its justification) on the
+    line above. Scanning raw source lines (rather than the token
+    stream) keeps the pragma usable even on lines the parser
+    attributes to a different statement.
+    """
+    out: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _DISABLE_RE.search(text)
+        if not match:
+            continue
+        ids = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        target = lineno + 1 if text.lstrip().startswith("#") else lineno
+        out[target] = out.get(target, frozenset()) | ids
+    return out

@@ -35,9 +35,7 @@ def cumulative_series(
     return [(t, service_at(task, t) * scale) for t in times]
 
 
-def rate_series(
-    points: Sequence[tuple[float, float]]
-) -> list[tuple[float, float]]:
+def rate_series(points: Sequence[tuple[float, float]]) -> list[tuple[float, float]]:
     """Difference a cumulative series into a per-interval rate series."""
     out: list[tuple[float, float]] = []
     for (t0, v0), (t1, v1) in zip(points, points[1:]):

@@ -187,6 +187,7 @@ class SurplusFairScheduler(TaggedScheduler):
     def pick_next(self, cpu: int, now: float) -> Task | None:
         self.decision_count += 1
         self._refresh_vtime()
+        # sfs-lint: disable=SFS005 (bit-identity staleness test, not arithmetic)
         if self._vtime != self._v_at_recompute or self._surplus_dirty:
             self._recompute_surpluses()
         best = self._first_schedulable(self.surplus_queue)
@@ -224,6 +225,7 @@ class SurplusFairScheduler(TaggedScheduler):
         )
         v = self._vtime
         best_alpha = self.surplus_of(best, v)
+        # sfs-lint: disable=SFS005 (bit-identity staleness test vs stored queue key)
         if best_alpha != best.sched["alpha"]:
             # Stale stored key: re-select against fresh surpluses so the
             # bound below really is the fresh minimum.

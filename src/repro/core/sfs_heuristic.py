@@ -202,6 +202,7 @@ class HeuristicSurplusFairScheduler(SurplusFairScheduler):
                 self.tracked_decisions += 1
                 # best_alpha is best's fresh surplus from the scan —
                 # no need to recompute it per decision.
+                # sfs-lint: disable=SFS005 (bit-identity agreement counter vs exact scan)
                 if best_alpha == self.surplus_of(exact):
                     self.tracked_matches += 1
         return best

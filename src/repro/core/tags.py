@@ -104,6 +104,7 @@ class TaggedScheduler(Scheduler):
         """Recompute ``v``; returns True if it changed."""
         head = self.start_queue.head()
         new_v = head.sched["S"] if head is not None else self._last_finish
+        # sfs-lint: disable=SFS005 (bit-identity change detection: did v move)
         if new_v != self._vtime:
             self._vtime = new_v
             return True
@@ -199,6 +200,7 @@ class TaggedScheduler(Scheduler):
         tasks = list(self._runnable.values())
         expected = readjust([t.weight for t in tasks], self.machine.num_cpus)
         for task, phi in zip(tasks, expected):
+            # sfs-lint: disable=SFS005 (oracle agreement is bit-exact by construction)
             if task.phi != phi:
                 raise AssertionError(
                     "frontier phi diverged from batch oracle for "

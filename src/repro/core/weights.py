@@ -340,6 +340,7 @@ def readjust_tasks(tasks: Sequence["Task"], p: int) -> list["Task"]:
     adjusted = readjust(weights, p)
     changed = []
     for task, phi in zip(tasks, adjusted):
+        # sfs-lint: disable=SFS005 (bit-identity change detection: skip no-op writes)
         if task.phi != phi:
             task.phi = phi
             changed.append(task)
@@ -483,6 +484,7 @@ class ReadjustmentFrontier:
     # ------------------------------------------------------------------
 
     def _set_phi(self, task: "Task", phi: float) -> None:
+        # sfs-lint: disable=SFS005 (bit-identity change detection: skip no-op writes)
         if task.phi != phi:
             task.phi = phi
             self.phi_writes += 1

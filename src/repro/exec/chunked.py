@@ -51,9 +51,7 @@ def job_fingerprint(job: CellJob) -> str:
     version bump can do is *reject* an old checkpoint (the safe
     direction).
     """
-    payload = pickle.dumps(
-        (job.scenario, job.metrics), protocol=_FINGERPRINT_PROTOCOL
-    )
+    payload = pickle.dumps((job.scenario, job.metrics), protocol=_FINGERPRINT_PROTOCOL)
     return hashlib.sha1(payload).hexdigest()[:12]
 
 
@@ -69,9 +67,7 @@ def load_checkpoint(path: str, jobs: Sequence[CellJob]) -> dict[int, Any]:
     return _scan_checkpoint(path, jobs)[0]
 
 
-def _scan_checkpoint(
-    path: str, jobs: Sequence[CellJob]
-) -> tuple[dict[int, Any], int]:
+def _scan_checkpoint(path: str, jobs: Sequence[CellJob]) -> tuple[dict[int, Any], int]:
     """(completed cells, byte offset up to which the file is valid).
 
     The offset lets :class:`ChunkedBackend` truncate a torn file back

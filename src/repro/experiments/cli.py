@@ -308,6 +308,8 @@ def _exec_opts(
     elif checkpoint is not None:
         opts["checkpoint"] = checkpoint
         opts["chunk_size"] = args.chunk_size
+    if getattr(args, "audit", False):
+        opts["audit"] = True
     return opts
 
 
@@ -354,6 +356,8 @@ def _sweep_base(args: argparse.Namespace) -> Scenario:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     metrics = ("shares", "jains", "context_switches")
+    if args.audit:
+        metrics += ("audit",)
     sweep = Sweep(
         base=_sweep_base(args),
         schedulers=tuple(args.scheduler),
@@ -362,6 +366,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         metrics=metrics,
     )
     scenarios = sweep_scenarios(sweep)
+    if args.audit:
+        scenarios = [s.with_(audit=True) for s in scenarios]
     header = f"{'scheduler':16s} {'cpus':>4s} {'quantum':>8s} {'jains':>7s} {'heavy':>7s} {'ctx':>8s}"
     print(f"sweep: {len(scenarios)} cells "
           f"({len(args.scheduler) or 1} schedulers x {len(args.cpus) or 1} cpus"
@@ -369,6 +375,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(header)
     headers = ["scheduler", "cpus", "quantum", "jains", "heavy_share",
                "context_switches"]
+    if args.audit:
+        headers.append("audit_violations")
     # Streaming export: each cell's row is printed and flushed to
     # CSV/JSON the moment the backend delivers it (grid order), so a
     # 10^4-cell grid never materialises in memory and a killed run
@@ -387,6 +395,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             checkpoint=args.checkpoint,
             chunk_size=args.chunk_size,
         )
+        audit_violations = 0
+        audit_cells = 0
         for cell in cells:
             shares = cell.metrics["shares"]
             row = (
@@ -397,10 +407,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 shares["heavy"],
                 cell.metrics["context_switches"],
             )
-            print(
+            line = (
                 f"{row[0]:16s} {row[1]:4d} {row[2]:8g} {row[3]:7.4f} "
                 f"{row[4]:7.4f} {row[5]:8d}"
             )
+            if args.audit:
+                summary = cell.metrics["audit"]
+                audit_cells += 1
+                audit_violations += summary["total_violations"]
+                row += (summary["total_violations"],)
+                if summary["total_violations"]:
+                    line += f"  AUDIT {summary['counts']}"
+            print(line)
             if csv_stream is not None:
                 csv_stream.append(row)
             if json_stream is not None:
@@ -410,6 +428,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             if stream is not None:
                 stream.close()
                 print(f"wrote {stream.path}", file=sys.stderr)
+    if args.audit:
+        status = (
+            "OK" if audit_violations == 0
+            else f"{audit_violations} VIOLATION(S)"
+        )
+        print(f"invariant audit across {audit_cells} cells: {status}")
+        if audit_violations:
+            return 1
     return 0
 
 
@@ -439,18 +465,23 @@ def _cmd_server(args: argparse.Namespace) -> int:
         )
         for scheduler in args.scheduler
     ]
+    metrics = ("events_fired", "context_switches", "class_shares")
+    if args.audit:
+        metrics += ("audit",)
+        scenarios = [s.with_(audit=True) for s in scenarios]
     # One cell per scheduler, run through the selected execution
     # backend; class shares travel back as a canned metric, so cells
     # can execute in worker processes (or on other hosts).
     cells = run_cells(
         scenarios,
-        ("events_fired", "context_switches", "class_shares"),
+        metrics,
         workers=args.workers,
         backend=_cli_backend(args, args.checkpoint),
         checkpoint=args.checkpoint,
         chunk_size=args.chunk_size,
     )
     rows = []
+    audit_violations = 0
     for scheduler, cell in zip(args.scheduler, cells):
         events = cell.metrics["events_fired"]
         wall = cell.wall_s
@@ -464,12 +495,20 @@ def _cmd_server(args: argparse.Namespace) -> int:
             "context_switches": cell.metrics["context_switches"],
             **{f"share_{name}": shares[name] for name in class_names},
         }
-        rows.append(row)
-        print(
+        line = (
             f"{scheduler:16s} {args.n:6d} {events:8d} {wall:7.2f} "
             f"{row['events_per_sec']:9,d} {row['context_switches']:8d}"
             + "".join(f" {shares[name]:7.4f}" for name in class_names)
         )
+        if args.audit:
+            summary = cell.metrics["audit"]
+            audit_violations += summary["total_violations"]
+            row["audit_violations"] = summary["total_violations"]
+            row["audit_examples"] = "; ".join(summary["examples"])
+            if summary["total_violations"]:
+                line += f"  AUDIT {summary['counts']}"
+        rows.append(row)
+        print(line)
     headers = list(rows[0])
     if args.csv:
         path = write_rows(
@@ -485,6 +524,14 @@ def _cmd_server(args: argparse.Namespace) -> int:
             json.dump(rows, fh, indent=2)
             fh.write("\n")
         print(f"wrote {path}", file=sys.stderr)
+    if args.audit:
+        status = (
+            "OK" if audit_violations == 0
+            else f"{audit_violations} VIOLATION(S)"
+        )
+        print(f"invariant audit across {len(rows)} cells: {status}")
+        if audit_violations:
+            return 1
     return 0
 
 
@@ -531,6 +578,14 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
         "--host", action="append", metavar="HOST", default=None,
         help="worker host for --backend ssh ('local' spawns a local "
         "subprocess); repeat for more hosts",
+    )
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="run cells under the online invariant auditor "
+        "(service conservation, bounded lag, no starvation, surplus "
+        "order, monotone virtual time); violations are reported and "
+        "make the command exit non-zero. For `run` this applies to the "
+        "backend-aware experiments (saturation, sensitivity).",
     )
 
 
@@ -644,6 +699,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "(line-JSON over stdio; used by --backend ssh)",
     )
     sub.add_parser("list", help="list experiment ids and scheduler names")
+    # `lint` is dispatched before parsing (it owns its own argparse in
+    # repro.analysis.staticcheck); registered here only for --help.
+    sub.add_parser(
+        "lint",
+        add_help=False,
+        help="run the repo-specific determinism/soundness linter "
+        "(rules SFS001-SFS006; see `lint --list-rules`)",
+    )
     return parser
 
 
@@ -652,6 +715,12 @@ def main(argv: list[str] | None = None) -> int:
     # Backwards compatibility: `sfs-experiment fig1` == `... run fig1`.
     if argv and argv[0] in EXPERIMENTS or argv[:1] == ["all"]:
         argv = ["run", *argv]
+    if argv[:1] == ["lint"]:
+        # The linter owns its own argument parser (also reachable as
+        # `python -m repro.analysis.staticcheck`).
+        from repro.analysis.staticcheck import main as lint_main
+
+        return lint_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         try:

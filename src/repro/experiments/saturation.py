@@ -82,6 +82,13 @@ class SaturationResult:
     accuracy: dict[int, float] = field(default_factory=dict)
     accuracy_n: int = 0
     accuracy_load: float = 0.0
+    #: invariant-audit summaries per cell (when run with audit=True)
+    audit: dict[tuple[str, float], dict] = field(default_factory=dict)
+
+    @property
+    def audit_violations(self) -> int:
+        """Total invariant violations across all audited cells."""
+        return sum(s["total_violations"] for s in self.audit.values())
 
 
 def run(
@@ -95,8 +102,14 @@ def run(
     backend=None,
     checkpoint: str | None = None,
     chunk_size: int | None = None,
+    audit: bool = False,
 ) -> SaturationResult:
     """Run the saturation grid and the accuracy-vs-k curve.
+
+    ``audit=True`` runs every grid cell under the online invariant
+    auditor (see :mod:`repro.analysis.audit`); per-cell summaries land
+    in ``result.audit`` and travel back from workers as the canned
+    ``"audit"`` metric.
 
     ``workers``/``backend``/``checkpoint``/``chunk_size`` are
     forwarded to :func:`repro.scenario.run_cells` (``workers=0``
@@ -129,9 +142,12 @@ def run(
         )
         for policy, load in grid
     ]
+    metrics = CELL_METRICS + ("audit",) if audit else CELL_METRICS
+    if audit:
+        scenarios = [s.with_(audit=True) for s in scenarios]
     cells = run_cells(
         scenarios,
-        CELL_METRICS,
+        metrics,
         workers=workers,
         backend=backend,
         checkpoint=checkpoint,
@@ -155,6 +171,8 @@ def run(
         for cls, value in cell.metrics["sojourn_p95"].items():
             if cls != "all":
                 result.sojourn_p95_by_class[(policy, load, cls)] = value
+        if audit:
+            result.audit[(policy, load)] = cell.metrics["audit"]
     for k in scan_depths:
         scenario = server_scenario(
             accuracy_n,
@@ -259,4 +277,18 @@ def render(result: SaturationResult) -> str:
             ylabel="accuracy %",
         )
     )
+    if result.audit:
+        lines.append("")
+        total = result.audit_violations
+        status = "OK" if total == 0 else f"{total} VIOLATION(S)"
+        lines.append(
+            f"invariant audit across {len(result.audit)} cells: {status}"
+        )
+        for key in sorted(result.audit):
+            summary = result.audit[key]
+            if summary["total_violations"]:
+                policy, load = key
+                lines.append(
+                    f"  {policy} load={load:g}: {summary['counts']}"
+                )
     return "\n".join(lines)

@@ -31,6 +31,13 @@ class SensitivityResult:
 
     #: (scheduler, jitter) -> list of shares across seeds
     shares: dict[tuple[str, float], list[float]] = field(default_factory=dict)
+    #: invariant-audit summaries per cell (when run with audit=True)
+    audit: dict[tuple[str, float, int], dict] = field(default_factory=dict)
+
+    @property
+    def audit_violations(self) -> int:
+        """Total invariant violations across all audited cells."""
+        return sum(s["total_violations"] for s in self.audit.values())
 
     def spread(self, scheduler: str, jitter: float) -> float:
         values = self.shares[(scheduler, jitter)]
@@ -65,6 +72,7 @@ def run(
     backend=None,
     checkpoint: str | None = None,
     chunk_size: int | None = None,
+    audit: bool = False,
 ) -> SensitivityResult:
     """Sweep jitter x seed for each scheduler.
 
@@ -83,9 +91,13 @@ def run(
         for jitter in jitters
         for seed in seeds
     ]
+    scenarios = [scenario(name, jitter, seed) for name, jitter, seed in grid]
+    metrics = ("driver_shares", "audit") if audit else ("driver_shares",)
+    if audit:
+        scenarios = [s.with_(audit=True) for s in scenarios]
     cells = run_cells(
-        [scenario(name, jitter, seed) for name, jitter, seed in grid],
-        ("driver_shares",),
+        scenarios,
+        metrics,
         workers=workers,
         backend=backend,
         checkpoint=checkpoint,
@@ -95,6 +107,8 @@ def run(
         result.shares.setdefault((name, jitter), []).append(
             cell.metrics["driver_shares"]["T_short"]
         )
+        if audit:
+            result.audit[(name, jitter, seed)] = cell.metrics["audit"]
     return result
 
 

@@ -73,6 +73,8 @@ class SimulationResult:
         self.probes = probes
         #: canned metrics requested via ``scenario.metrics``
         self.metrics: dict[str, Any] = {}
+        #: invariant-audit outcome (set when ``scenario.audit`` is on)
+        self.audit_report: Any = None
 
     # -- raw access ----------------------------------------------------
 
@@ -271,34 +273,42 @@ class SimulationResult:
 
 
 def _metric_shares(result: SimulationResult) -> dict[str, float]:
+    """Per-task share of total delivered service."""
     return result.shares()
 
 
 def _metric_jains(result: SimulationResult) -> float:
+    """Jain's fairness index over weight-normalized service."""
     return result.jains()
 
 
 def _metric_total_service(result: SimulationResult) -> float:
+    """Total CPU service delivered across all tasks."""
     return sum(t.service for t in result.tasks.values())
 
 
 def _metric_context_switches(result: SimulationResult) -> int:
+    """Context switches counted by the trace."""
     return result.trace.context_switches
 
 
 def _metric_preemptions(result: SimulationResult) -> int:
+    """Involuntary preemptions counted by the trace."""
     return result.trace.preemptions
 
 
 def _metric_decisions(result: SimulationResult) -> int:
+    """Scheduler pick_next invocations counted by the trace."""
     return result.trace.decisions
 
 
 def _metric_events_fired(result: SimulationResult) -> int:
+    """Simulation events fired during the run."""
     return result.machine.engine.events_fired
 
 
 def _metric_max_lag(result: SimulationResult) -> float:
+    """Max |service - GMS ideal| over all tasks (needs events)."""
     report = result.lag_report(step=max(result.duration / 100.0, 0.05))
     return max(report.values(), default=0.0)
 
@@ -350,14 +360,17 @@ def _censored_sojourn_of(
 
 
 def _metric_sojourn_p50(result: SimulationResult) -> dict[str, float]:
+    """Median sojourn time of completed jobs, by class."""
     return _percentile_by_class(result, lambda t: t.sojourn_time, 50.0)
 
 
 def _metric_sojourn_p95(result: SimulationResult) -> dict[str, float]:
+    """95th-percentile sojourn time of completed jobs, by class."""
     return _percentile_by_class(result, lambda t: t.sojourn_time, 95.0)
 
 
 def _metric_sojourn_p99(result: SimulationResult) -> dict[str, float]:
+    """99th-percentile sojourn time of completed jobs, by class."""
     return _percentile_by_class(result, lambda t: t.sojourn_time, 99.0)
 
 
@@ -423,8 +436,19 @@ def _metric_driver_shares(result: SimulationResult) -> dict[str, float]:
     return out
 
 
+def _metric_audit(result: SimulationResult) -> dict[str, Any]:
+    """Flat invariant-audit summary (requires ``Scenario(audit=True)``)."""
+    if result.audit_report is None:
+        raise ValueError(
+            "metric 'audit' requires Scenario(audit=True): no audit "
+            "report was produced for this run"
+        )
+    return result.audit_report.summary()
+
+
 #: canned metric name -> extractor (flat, picklable values only)
 METRICS = {
+    "audit": _metric_audit,
     "shares": _metric_shares,
     "jains": _metric_jains,
     "total_service": _metric_total_service,

@@ -94,11 +94,17 @@ def build_machine(
         cost_model=cost_model,
         sample_service=scenario.sample_service,
         service_sample_interval=scenario.service_sample_interval,
-        record_events=scenario.record_events,
+        # the auditor's bounded_lag check replays the event timeline
+        # against the GMS fluid oracle, so auditing forces recording
+        record_events=scenario.record_events or scenario.audit,
         preempt_on_wake=scenario.preempt_on_wake,
         quantum_jitter=scenario.quantum_jitter,
         jitter_seed=scenario.jitter_seed,
     )
+    # Audit-forced recording only needs the event timeline; the
+    # per-dispatch CPU occupancy intervals (Gantt data) stay gated on
+    # the scenario's own record_events.
+    machine.trace.record_runs = scenario.record_events
     tasks: dict[str, Task] = {}
     for spec in scenario.tasks:
         task = Task(
@@ -145,6 +151,13 @@ def build_machine(
 def run_scenario(scenario: Scenario) -> SimulationResult:
     """Run a scenario to completion and collect its results."""
     machine, tasks, drivers = build_machine(scenario)
+    auditor = None
+    if scenario.audit:
+        from repro.analysis.audit import Auditor
+
+        params = dict(scenario.audit_params)
+        checks = params.pop("checks", None)
+        auditor = Auditor(machine, checks=checks, params=params).install()
     probes = sorted(
         enumerate(scenario.probes), key=lambda pair: (pair[1].at, pair[0])
     )
@@ -177,6 +190,8 @@ def run_scenario(scenario: Scenario) -> SimulationResult:
         drivers,
         [values[i] for i in range(len(scenario.probes))],
     )
+    if auditor is not None:
+        result.audit_report = auditor.finalize(machine.now)
     if scenario.metrics:
         result.metrics = summarize(result, scenario.metrics)
     return result

@@ -274,6 +274,14 @@ class Scenario:
     record_events: bool = True
     preempt_on_wake: bool = True
     max_time: float = 3600.0
+    #: install the online invariant auditor for this run; the report
+    #: lands on ``result.audit_report`` (and in the canned ``"audit"``
+    #: metric when requested)
+    audit: bool = False
+    #: auditor tuning (see repro.analysis.audit): check params such as
+    #: ``starvation_factor``/``lag_factor``/``surplus_check_every``,
+    #: ``max_violations``, plus ``checks`` to run a named subset
+    audit_params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         # Accept nested iterables of TaskSpec (e.g. a group() splice
@@ -321,6 +329,32 @@ class Scenario:
         from repro.scenario.result import check_metrics
 
         check_metrics(self.metrics)
+        if "audit" in self.metrics and not self.audit:
+            raise ValueError(
+                "metric 'audit' requires Scenario(audit=True)"
+            )
+        if self.audit_params and not self.audit:
+            raise ValueError("audit_params given but audit=False")
+        if self.audit_params:
+            # Fail fast on param/check typos, before any cell runs.
+            from repro.analysis.audit import CHECKS
+            from repro.analysis.audit.checks import KNOWN_PARAMS
+
+            special = {"max_violations", "checks"}
+            bad = set(self.audit_params) - KNOWN_PARAMS - special
+            if bad:
+                raise ValueError(
+                    f"unknown audit param(s) {sorted(bad)!r}; known: "
+                    f"{', '.join(sorted(KNOWN_PARAMS | special))}"
+                )
+            unknown = [
+                c for c in self.audit_params.get("checks", ()) if c not in CHECKS
+            ]
+            if unknown:
+                raise ValueError(
+                    f"unknown audit check(s) {unknown!r}; known: "
+                    f"{', '.join(sorted(CHECKS))}"
+                )
         if self.service_sample_interval > 0 and "max_lag" in self.metrics:
             raise ValueError(
                 "metric 'max_lag' reads mid-run service curves, which "

@@ -100,51 +100,62 @@ def _populate() -> None:
     @register("sfs-noreadjust", readjust=False)
     @register("sfs-affinity", affinity_bonus=0.05)
     def _sfs(**options) -> Scheduler:
+        """Surplus fair scheduling (Eq. 4), with variants via presets."""
         return SurplusFairScheduler(**options)
 
     @register("sfs-heuristic")
     def _sfs_heuristic(**options) -> Scheduler:
+        """SFS with the §3.2 production heuristic decision path."""
         return HeuristicSurplusFairScheduler(**options)
 
     @register("hierarchical-sfs")
     def _hierarchical(**options) -> Scheduler:
+        """Two-level SFS: surplus fairness across groups, then members."""
         return HierarchicalSurplusFairScheduler(**options)
 
     @register("sfq")
     @register("sfq-readjust", readjust=True)
     def _sfq(**options) -> Scheduler:
+        """Start-time fair queueing carried over from uniprocessors (§2)."""
         return StartTimeFairScheduler(**options)
 
     @register("gms-reference")
     def _gms(**options) -> Scheduler:
+        """Discrete tracker of the generalized multiprocessor sharing ideal."""
         return GMSReferenceScheduler(**options)
 
     @register("linux-ts")
     def _linux_ts(**options) -> Scheduler:
+        """Linux 2.x-style time sharing (the paper's unfair baseline)."""
         return LinuxTimeSharingScheduler(**options)
 
     @register("stride")
     @register("stride-readjust", readjust=True)
     def _stride(**options) -> Scheduler:
+        """Stride scheduling; deterministic pass/stride proportional share."""
         return StrideScheduler(**options)
 
     @register("wfq")
     @register("wfq-readjust", readjust=True)
     def _wfq(**options) -> Scheduler:
+        """Weighted fair queueing with finish-tag ordering."""
         return WeightedFairQueueingScheduler(**options)
 
     @register("bvt")
     @register("bvt-readjust", readjust=True)
     def _bvt(**options) -> Scheduler:
+        """Borrowed virtual time with weighted warping."""
         return BorrowedVirtualTimeScheduler(**options)
 
     @register("lottery")
     @register("lottery-readjust", readjust=True)
     def _lottery(**options) -> Scheduler:
+        """Lottery scheduling; randomized proportional share (seeded)."""
         return LotteryScheduler(**options)
 
     @register("round-robin")
     def _round_robin(**options) -> Scheduler:
+        """Equal-slice round robin, ignoring weights."""
         return RoundRobinScheduler(**options)
 
 

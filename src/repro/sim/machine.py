@@ -139,6 +139,12 @@ class Machine:
         self._prev_task: dict[int, Task | None] = {p.cpu_id: None for p in self.processors}
         #: observers invoked as fn(task, now) when a task exits
         self.on_task_exit: list = []
+        #: observers invoked as fn(machine, proc, task) right after a
+        #: task is placed on a CPU (the invariant auditor listens here)
+        self.on_dispatch: list = []
+        #: observers invoked as fn(machine, task) when a preempted task
+        #: returns to the runnable queue without a trace event
+        self.on_requeue: list = []
         scheduler.attach(self)
 
     # ------------------------------------------------------------------
@@ -367,6 +373,9 @@ class Machine:
         task.preempt_count += 1
         self.trace.preemptions += 1
         self.scheduler.on_preempt(task, now, ran)
+        if self.on_requeue:
+            for observer in self.on_requeue:
+                observer(self, task)
         self._schedule_cpu(proc)
 
     def _segment_end(self, proc: Processor, seq: int) -> None:
@@ -436,6 +445,9 @@ class Machine:
         task.preempt_count += 1
         self.trace.preemptions += 1
         self.scheduler.on_preempt(task, now, ran)
+        if self.on_requeue:
+            for observer in self.on_requeue:
+                observer(self, task)
 
     def _schedule_cpu(self, proc: Processor) -> None:
         """Run one scheduling decision for an idle CPU."""
@@ -508,6 +520,9 @@ class Machine:
         proc.quantum_handle = self.engine.schedule_at(
             proc.quantum_end, self._quantum_expiry, proc, proc.seq
         )
+        if self.on_dispatch:
+            for observer in self.on_dispatch:
+                observer(self, proc, task)
 
     # ------------------------------------------------------------------
     # accounting helpers

@@ -10,7 +10,7 @@ switches) for the overhead experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, NamedTuple
 
 from repro.sim.task import Task
 
@@ -25,8 +25,14 @@ EXIT = "exit"
 WEIGHT = "weight"
 
 
-@dataclass(frozen=True, slots=True)
-class TraceEvent:
+# Both history records are NamedTuples rather than frozen dataclasses
+# on purpose: a long recorded run holds hundreds of thousands of them,
+# and CPython's cycle collector untracks tuples of atomic values after
+# their first scan, where dataclass instances are re-scanned on every
+# collection for the lifetime of the trace.
+
+
+class TraceEvent(NamedTuple):
     """One runnable-set change: (time, kind, tid, weight-at-event)."""
 
     time: float
@@ -35,8 +41,7 @@ class TraceEvent:
     weight: float
 
 
-@dataclass(frozen=True, slots=True)
-class RunInterval:
+class RunInterval(NamedTuple):
     """One contiguous occupancy of a CPU by a task."""
 
     cpu: int
@@ -68,10 +73,28 @@ class Trace:
     """
 
     record_events: bool = True
-    events: list[TraceEvent] = field(default_factory=list)
+    #: gate for :meth:`record_run` on top of ``record_events``: lets a
+    #: consumer that forced event recording for replay (the auditor)
+    #: opt out of the per-dispatch CPU occupancy intervals it never
+    #: reads
+    record_runs: bool = True
+    #: columnar event storage: four parallel scalar lists instead of a
+    #: list of records, so the hot-path append is two opcodes per column
+    #: and the stored history is invisible to the cycle collector (a
+    #: recorded N=5000 run otherwise pays more in GC scans than in
+    #: simulation); :attr:`events` materializes lazily on access
+    _ev_time: list[float] = field(default_factory=list, repr=False)
+    _ev_kind: list[str] = field(default_factory=list, repr=False)
+    _ev_tid: list[int] = field(default_factory=list, repr=False)
+    _ev_weight: list[float] = field(default_factory=list, repr=False)
+    _ev_cache: list[TraceEvent] = field(default_factory=list, repr=False)
     #: CPU occupancy intervals (for Gantt rendering); recorded when
     #: record_events is on
     run_intervals: list[RunInterval] = field(default_factory=list)
+    #: streaming observers invoked as fn(time, kind, task) on every
+    #: runnable-set event, independent of record_events — the invariant
+    #: auditor listens here even when event storage is off
+    on_event: list = field(default_factory=list)
     context_switches: int = 0
     dispatches: int = 0
     decisions: int = 0
@@ -81,11 +104,41 @@ class Trace:
     def record(self, time: float, kind: str, task: Task) -> None:
         """Append a runnable-set event (if event recording is enabled)."""
         if self.record_events:
-            self.events.append(TraceEvent(time, kind, task.tid, task.weight))
+            self._ev_time.append(time)
+            self._ev_kind.append(kind)
+            self._ev_tid.append(task.tid)
+            self._ev_weight.append(task.weight)
+        if self.on_event:
+            for observer in self.on_event:
+                observer(time, kind, task)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The recorded runnable-set timeline as :class:`TraceEvent` rows.
+
+        Materialized from the columnar storage on first access and
+        cached (re-materialized only if more events were recorded
+        since). Hot-path consumers that just need the tuples should
+        prefer :meth:`event_tuples`.
+        """
+        if len(self._ev_cache) != len(self._ev_time):
+            self._ev_cache = list(map(TraceEvent._make, self.event_tuples()))
+        return self._ev_cache
+
+    @property
+    def event_count(self) -> int:
+        """Number of recorded events (no materialization)."""
+        return len(self._ev_time)
+
+    def event_tuples(self):
+        """Iterate the timeline as plain ``(time, kind, tid, weight)``
+        tuples, in recording (= time) order, without building records.
+        """
+        return zip(self._ev_time, self._ev_kind, self._ev_tid, self._ev_weight)
 
     def record_run(self, cpu: int, tid: int, start: float, end: float) -> None:
         """Append a CPU occupancy interval (if recording is enabled)."""
-        if self.record_events and end > start:
+        if self.record_events and self.record_runs and end > start:
             self.run_intervals.append(RunInterval(cpu, tid, start, end))
 
     def events_between(self, t0: float, t1: float) -> Iterator[TraceEvent]:

@@ -1,0 +1,84 @@
+"""Property test: randomized seeded scenarios audit clean.
+
+The auditor's checks encode invariants the simulator + SFS must hold
+by construction, so *any* well-formed scenario — random populations,
+weights, arrivals, finite/infinite behaviours, weight changes, kills,
+timer jitter — must produce a violation-free report. This is the
+``--audit`` pipeline's standing soundness guarantee: a false positive
+here means an over-tight check, a true positive means a scheduler bug;
+either way the property must stay green.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenario import Compute, Inf, Kill, Scenario, SetWeight, run_scenario
+
+task_st = st.tuples(
+    st.integers(min_value=1, max_value=12),  # weight
+    st.one_of(
+        st.none(),  # infinite compute
+        st.floats(min_value=0.2, max_value=2.5),  # finite cpu seconds
+    ),
+    st.floats(min_value=0.0, max_value=1.5),  # arrival time
+)
+
+scenario_st = st.tuples(
+    st.lists(task_st, min_size=2, max_size=6),
+    st.integers(min_value=1, max_value=2),  # cpus
+    st.sampled_from(["sfs", "sfq", "sfs-heuristic", "round-robin"]),
+    st.floats(min_value=0.0, max_value=0.1),  # quantum jitter
+    st.integers(min_value=0, max_value=2**16),  # jitter seed
+    st.one_of(st.none(), st.integers(min_value=1, max_value=9)),  # reweight
+    st.booleans(),  # kill the first task mid-run?
+)
+
+
+def build_scenario(drawn) -> Scenario:
+    tasks, cpus, scheduler, jitter, seed, reweight, kill = drawn
+    from repro.scenario import task as task_spec
+
+    specs = tuple(
+        task_spec(
+            f"t{i}",
+            weight,
+            behavior=Inf() if cpu_s is None else Compute(cpu_s),
+            at=at,
+        )
+        for i, (weight, cpu_s, at) in enumerate(tasks)
+    )
+    events = []
+    if reweight is not None:
+        events.append(SetWeight(task="t0", weight=reweight, at=2.0))
+    if kill:
+        events.append(Kill(task="t1", at=2.5))
+    return Scenario(
+        name="audit-property",
+        scheduler=scheduler,
+        cpus=cpus,
+        duration=4.0,
+        quantum=0.05,
+        quantum_jitter=jitter,
+        jitter_seed=seed,
+        tasks=specs,
+        events=tuple(events),
+        audit=True,
+        audit_params={"surplus_check_every": 1},
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario_st)
+def test_random_scenarios_audit_clean(drawn):
+    report = run_scenario(build_scenario(drawn)).audit_report
+    assert report.ok, report.render()
+
+
+@settings(max_examples=15, deadline=None)
+@given(scenario_st)
+def test_audit_does_not_perturb_the_simulation(drawn):
+    """Observing must not interact: shares match the unaudited run."""
+    audited = run_scenario(build_scenario(drawn))
+    plain_scenario = build_scenario(drawn).with_(audit=False, audit_params={})
+    plain = run_scenario(plain_scenario)
+    assert audited.shares() == plain.shares()

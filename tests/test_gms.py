@@ -128,3 +128,34 @@ class TestReplay:
         ideal = replay_trace(m.trace.events, 2, 20.0)
         for t in tasks:
             assert t.service == pytest.approx(ideal[t.tid], abs=0.8)
+
+    def test_replay_matches_fluid_gms_spec(self):
+        # replay_trace is an incremental reformulation of driving
+        # FluidGMS event by event; the two must agree to float
+        # rounding on a timeline with churn, weight changes, and an
+        # infeasible stretch (weight 50 on 2 CPUs pins a processor).
+        events = [
+            TraceEvent(0.0, "arrive", 1, 1.0),
+            TraceEvent(0.5, "arrive", 2, 3.0),
+            TraceEvent(1.0, "arrive", 3, 50.0),
+            TraceEvent(1.5, "weight", 2, 5.0),
+            TraceEvent(2.0, "block", 1, 1.0),
+            TraceEvent(2.5, "wake", 1, 1.0),
+            TraceEvent(3.0, "exit", 3, 50.0),
+            TraceEvent(3.5, "arrive", 4, 2.0),
+            TraceEvent(4.0, "exit", 2, 5.0),
+        ]
+        fast = replay_trace(events, cpus=2, t_end=5.0)
+        gms = FluidGMS(cpus=2)
+        for ev in events:
+            if ev.kind in ("arrive", "wake"):
+                gms.arrive(ev.tid, ev.weight, ev.time)
+            elif ev.kind in ("block", "exit"):
+                gms.depart(ev.tid, ev.time)
+            elif ev.kind == "weight":
+                gms.set_weight(ev.tid, ev.weight, ev.time)
+        gms.advance_to(5.0)
+        spec = gms.services()
+        assert fast.keys() == spec.keys()
+        for tid in spec:
+            assert fast[tid] == pytest.approx(spec[tid], rel=1e-9), tid

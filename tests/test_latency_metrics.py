@@ -121,9 +121,7 @@ class TestCensoredSojourns:
     def test_censored_sojourns_include_in_system_ages(self):
         result = run_scenario(self._overloaded())
         censored = result.censored_sojourns()
-        assert censored["std-1"] == pytest.approx(
-            result.task("std-1").sojourn_time
-        )
+        assert censored["std-1"] == pytest.approx(result.task("std-1").sojourn_time)
         assert result.task("std-2").sojourn_time is None
         assert censored["std-2"] == pytest.approx(2.0)
         assert result.in_system() == 1
@@ -145,9 +143,7 @@ class TestCensoredSojourns:
         result = run_scenario(self._overloaded())
         # The censored max is at least the completed max: censoring can
         # only add mass, never remove the true observations.
-        assert result.censored_sojourn_percentile(
-            100
-        ) >= result.sojourn_percentile(100)
+        assert result.censored_sojourn_percentile(100) >= result.sojourn_percentile(100)
 
     def test_canned_metrics_match_accessors(self):
         names = ("sojourn_p95", "sojourn_p95_censored", "in_system")

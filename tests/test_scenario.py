@@ -21,6 +21,18 @@ from repro.scenario import (
 from repro.schedulers.registry import SCHEDULERS, make_scheduler, scheduler_names
 
 
+def _probe_early(machine, tasks):
+    return ("early", machine.now)
+
+
+def _probe_late(machine, tasks):
+    return ("late", machine.now)
+
+
+def _probe_none(machine, tasks):
+    return None
+
+
 def _basic(scheduler: str = "sfs", **overrides) -> Scenario:
     base = Scenario(
         name="basic",
@@ -106,24 +118,15 @@ class TestEventsProbesDrivers:
         assert result.share("a") == pytest.approx(0.75, abs=0.05)
 
     def test_probe_values_in_declaration_order(self):
-        def early(machine, tasks):
-            return ("early", machine.now)
-
-        def late(machine, tasks):
-            return ("late", machine.now)
-
-        scn = _basic(probes=(Probe(2.0, late), Probe(1.0, early)))
+        scn = _basic(probes=(Probe(2.0, _probe_late), Probe(1.0, _probe_early)))
         result = run_scenario(scn)
         # Values align with declaration order even though execution is
         # sorted by time.
         assert result.probes == [("late", 2.0), ("early", 1.0)]
 
     def test_probe_beyond_duration_rejected(self):
-        def fn(machine, tasks):
-            return None
-
         with pytest.raises(ValueError, match="beyond duration"):
-            run_scenario(_basic(probes=(Probe(99.0, fn),)))
+            run_scenario(_basic(probes=(Probe(99.0, _probe_none),)))
 
     def test_short_jobs_driver(self):
         scn = Scenario(
