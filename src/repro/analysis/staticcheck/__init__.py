@@ -1,6 +1,6 @@
 """Repo-specific AST linter for determinism and soundness conventions.
 
-Six rules, registered like schedulers (``@rule`` mirrors
+Seven rules, registered like schedulers (``@rule`` mirrors
 ``@register``), runnable as ``sfs-experiment lint`` or
 ``python -m repro.analysis.staticcheck``:
 
@@ -11,6 +11,7 @@ SFS003  no set iteration feeding sort-free ordered output
 SFS004  registry hygiene: docstring + unique sane name per entry
 SFS005  no float ``==``/``!=`` on tag/surplus arithmetic
 SFS006  Scenario/SweepCell payloads must stay pickle-safe
+SFS007  example scenario configs must pass schema validation
 ======  ==============================================================
 
 Waive a single finding inline with ``# sfs-lint: disable=SFSnnn``.

@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (SFS001-SFS006).
+"""The repo-specific lint rules (SFS001-SFS007).
 
 Each rule encodes one determinism or soundness convention the
 reproduction depends on:
@@ -16,7 +16,10 @@ reproduction depends on:
   (SFS005);
 - every execution backend pickles Scenario/SweepCell across process
   and host boundaries, which lambdas and closures silently break
-  (SFS006).
+  (SFS006);
+- the example scenario configs are executable documentation, so one
+  that stops schema-validating is a broken promise the moment someone
+  copies it (SFS007).
 
 Rules are registered via :func:`repro.analysis.staticcheck.rules.rule`
 and run by :mod:`repro.analysis.staticcheck.engine`.
@@ -42,6 +45,7 @@ __all__ = [
     "RegistryHygieneRule",
     "FloatTagEqualityRule",
     "PickleSafetyRule",
+    "ScenarioConfigRule",
 ]
 
 
@@ -343,8 +347,12 @@ def _is_dict_view(node: ast.AST) -> bool:
 # ----------------------------------------------------------------------
 
 #: module-level dict literals that act as registries
-_REGISTRY_DICTS = frozenset({"METRICS", "COST_MODELS", "BACKENDS", "CHECKS"})
-_REGISTER_DECORATORS = frozenset({"register", "rule"})
+_REGISTRY_DICTS = frozenset(
+    {"METRICS", "COST_MODELS", "BACKENDS", "CHECKS", "ARRIVALS", "DEMANDS"}
+)
+_REGISTER_DECORATORS = frozenset(
+    {"register", "rule", "register_arrival", "register_demand"}
+)
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 
@@ -585,6 +593,53 @@ class PickleSafetyRule(LintRule):
                             f"{name}(...) will not pickle to sweep "
                             "workers; hoist it to module level",
                         )
+
+
+# ----------------------------------------------------------------------
+# SFS007: example scenario configs must schema-validate
+# ----------------------------------------------------------------------
+
+
+@rule("SFS007")
+class ScenarioConfigRule(LintRule):
+    """Scenario config files must load through the schema without error.
+
+    The ``examples/scenarios/`` library is executable documentation:
+    CI runs every file, users copy them as starting points, and the
+    README table links them by name. A config that stops schema-
+    validating — a typoed field, a renamed arrival kind, a stale
+    scheduler name — is a broken promise that only surfaces when
+    someone runs it. This rule feeds each discovered ``*.yaml`` /
+    ``*.yml`` / ``*.json`` config through the same
+    :func:`repro.scenario.io.loads_config` pipeline the CLI uses and
+    reports the first validation failure with its dotted field path.
+    """
+
+    def check(self, tree: ast.AST, source: str, path: str) -> Iterator[Violation]:
+        return iter(())
+
+    def check_config(self, text: str, path: str) -> Iterator[Violation]:
+        from repro.scenario.io import ConfigError, loads_config
+
+        fmt = "json" if path.endswith(".json") else "yaml"
+        try:
+            loads_config(text, fmt=fmt)
+        except ConfigError as exc:
+            yield Violation(
+                rule=self.id,
+                path=path,
+                line=1,
+                col=0,
+                message=f"config fails schema validation: {exc}",
+            )
+        except ValueError as exc:
+            yield Violation(
+                rule=self.id,
+                path=path,
+                line=1,
+                col=0,
+                message=f"config fails to load: {exc}",
+            )
 
 
 def _nested_function_names(tree: ast.AST) -> frozenset[str]:

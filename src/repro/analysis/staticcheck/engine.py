@@ -3,7 +3,10 @@
 The engine walks the requested paths, parses every ``*.py`` file once,
 runs each registered rule whose scope matches the file, drops findings
 suppressed by an inline ``# sfs-lint: disable=`` pragma, and renders
-the rest as text or JSON. Exposed as ``sfs-experiment lint`` and
+the rest as text or JSON. Scenario config files under a ``scenarios``
+directory are routed to :meth:`LintRule.check_config` instead of the
+AST path (SFS007 schema-validates them; the pragma works from YAML
+comments too). Exposed as ``sfs-experiment lint`` and
 ``python -m repro.analysis.staticcheck``.
 """
 
@@ -36,7 +39,10 @@ __all__ = [
 ]
 
 #: what a bare ``sfs-experiment lint`` scans, relative to the repo root
-DEFAULT_ROOTS: tuple[str, ...] = ("src", "tests", "benchmarks")
+DEFAULT_ROOTS: tuple[str, ...] = ("src", "tests", "benchmarks", "examples")
+
+#: scenario config suffixes picked up under a ``scenarios`` directory
+_CONFIG_SUFFIXES = (".yaml", ".yml", ".json")
 
 #: directories never descended into
 _SKIP_DIRS = frozenset(
@@ -54,15 +60,25 @@ _SKIP_DIRS = frozenset(
 
 
 def discover_files(paths: Sequence[str | Path]) -> list[Path]:
-    """Expand files/directories into a sorted list of ``*.py`` files."""
+    """Expand files/directories into a sorted list of lintable files.
+
+    Directories yield every ``*.py`` file plus any scenario config
+    (``*.yaml``/``*.yml``/``*.json``) living under a ``scenarios``
+    directory — the example library SFS007 guards. Explicitly named
+    config files are always included.
+    """
     out: set[Path] = set()
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            for sub in path.rglob("*.py"):
-                if not _SKIP_DIRS.intersection(sub.parts):
+            for sub in path.rglob("*"):
+                if _SKIP_DIRS.intersection(sub.parts) or not sub.is_file():
+                    continue
+                if sub.suffix == ".py":
                     out.add(sub)
-        elif path.suffix == ".py":
+                elif sub.suffix in _CONFIG_SUFFIXES and "scenarios" in sub.parts:
+                    out.add(sub)
+        elif path.suffix == ".py" or path.suffix in _CONFIG_SUFFIXES:
             out.add(path)
     return sorted(out)
 
@@ -124,6 +140,25 @@ def lint_paths(
     found: list[Violation] = []
     disabled_by_path: dict[str, dict[int, frozenset[str]]] = {}
     for file in files:
+        if file.suffix in _CONFIG_SUFFIXES:
+            path_str = str(file)
+            try:
+                text = file.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                found.append(
+                    Violation(
+                        rule="SFS000",
+                        path=path_str,
+                        line=1,
+                        col=0,
+                        message=f"file is unreadable: {exc.__class__.__name__}",
+                    )
+                )
+                continue
+            disabled_by_path[path_str] = disabled_ids_by_line(text)
+            for lint_rule in rules:
+                found.extend(lint_rule.check_config(text, path_str))
+            continue
         try:
             source = file.read_text(encoding="utf-8")
             tree = ast.parse(source, filename=str(file))

@@ -101,6 +101,16 @@ class LintRule:
         """Yield violations for one parsed file."""
         raise NotImplementedError
 
+    def check_config(self, text: str, path: str) -> Iterator[Violation]:
+        """Yield violations for one scenario config file (optional).
+
+        Config files (``*.yaml``/``*.yml``/``*.json`` under a
+        ``scenarios`` directory) have no AST; the engine routes them
+        here instead of :meth:`check`. Most rules are python-only and
+        inherit this no-op.
+        """
+        return iter(())
+
     def finish(self) -> Iterator[Violation]:
         """Yield cross-file violations after the whole run (optional)."""
         return iter(())

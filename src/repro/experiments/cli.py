@@ -6,6 +6,10 @@ Subcommands:
   regenerate any of the paper's figures/tables as text and optionally
   export the underlying data as CSV (via :mod:`repro.analysis.csvout`)
   or JSON;
+- ``sfs-experiment run <file.yaml>`` / ``sweep <file.yaml>`` — load a
+  schema-validated scenario (or sweep) config file
+  (see :mod:`repro.scenario.io`) and run it through any execution
+  backend; ``examples/scenarios/`` holds a library of them;
 - ``sfs-experiment sweep --scheduler sfs sfq --cpus 1 2 4 ...`` — run a
   cartesian policy x machine grid of the canonical proportional-share
   workload across a process pool, with deterministic output ordering;
@@ -16,7 +20,8 @@ Subcommands:
 - ``sfs-experiment worker`` — serve the line-JSON execution-backend
   worker protocol over stdio (what ``SSHBackend`` sshes into);
 - ``sfs-experiment list`` — show experiment ids, registered scheduler
-  names and canned sweep metrics.
+  names, canned sweep metrics, and the registered arrival processes
+  and demand distributions config files can name.
 
 The grid-running subcommands (``sweep``, ``server``, and the
 backend-aware experiments under ``run``) accept ``--backend
@@ -62,6 +67,8 @@ from repro.scenario import (
     SERVER_WEIGHT_CLASSES,
     Scenario,
     Sweep,
+    arrival_names,
+    demand_names,
     group,
     run_cells,
     server_scenario,
@@ -69,6 +76,7 @@ from repro.scenario import (
     sweep_scenarios,
     task,
 )
+from repro.scenario.io import CONFIG_SUFFIXES, ConfigError, load_config
 from repro.schedulers.registry import scheduler_names
 from repro.sim.costs import COST_MODELS
 
@@ -535,6 +543,265 @@ def _cmd_server(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# config-file mode: `run <file.yaml>` / `sweep <file.yaml>`
+# ----------------------------------------------------------------------
+
+
+def _is_config_path(arg: str) -> bool:
+    """Does a positional argument name a scenario config file?"""
+    return arg.lower().endswith(CONFIG_SUFFIXES)
+
+
+def _render_metric(value: Any) -> str:
+    """One metric value as a terminal-friendly line fragment."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, dict) and value and all(
+        isinstance(v, (int, float)) for v in value.values()
+    ):
+        if len(value) <= 12:
+            return "  ".join(f"{k}={v:.4g}" for k, v in value.items())
+        values = sorted(value.values())
+        mean = sum(values) / len(values)
+        return (
+            f"{len(value)} entries  min={values[0]:.4g} "
+            f"mean={mean:.4g} max={values[-1]:.4g}"
+        )
+    return json.dumps(value, default=str, sort_keys=True)
+
+
+def _load_config_or_die(command: str, path: str) -> Any:
+    try:
+        return load_config(path)
+    except OSError as exc:
+        print(f"sfs-experiment {command}: error: {exc}", file=sys.stderr)
+        return None
+    except ConfigError as exc:
+        print(
+            f"sfs-experiment {command}: error: {path}: {exc}",
+            file=sys.stderr,
+        )
+        return None
+
+
+def _cmd_run_config(args: argparse.Namespace) -> int:
+    loaded = _load_config_or_die("run", args.config)
+    if loaded is None:
+        return 2
+    if isinstance(loaded, Sweep):
+        print(
+            f"sfs-experiment run: error: {args.config} is a sweep config; "
+            "use `sfs-experiment sweep` to run it",
+            file=sys.stderr,
+        )
+        return 2
+    scenario = loaded
+    if args.duration is not None:
+        scenario = scenario.with_(duration=args.duration)
+    metrics = tuple(args.metrics) if args.metrics else scenario.metrics
+    if not metrics:
+        metrics = ("shares", "jains")
+    if args.audit:
+        scenario = scenario.with_(audit=True)
+        if "audit" not in metrics:
+            metrics += ("audit",)
+    # The scenario travels through the selected execution backend as
+    # one cell (the same pickle path sweeps use), so configs work
+    # unchanged under serial, pooled, chunked and ssh execution.
+    scenario = scenario.with_(metrics=())
+    cell = run_cells(
+        [scenario],
+        metrics,
+        workers=args.workers,
+        backend=_cli_backend(args, args.checkpoint),
+        checkpoint=args.checkpoint,
+        chunk_size=args.chunk_size,
+    )[0]
+    duration = (
+        f"{scenario.duration:g}" if scenario.duration is not None else "auto"
+    )
+    print(
+        f"scenario: {scenario.name}  (scheduler={scenario.scheduler} "
+        f"cpus={scenario.cpus} quantum={scenario.quantum:g} "
+        f"duration={duration} tasks={len(scenario.tasks)} "
+        f"wall={cell.wall_s:.2f}s)"
+    )
+    for name in metrics:
+        print(f"  {name:24s} {_render_metric(cell.metrics[name])}")
+    if args.csv:
+        rows = []
+        for name in metrics:
+            value = cell.metrics[name]
+            if isinstance(value, dict):
+                rows.extend(
+                    (name, _key_str(k), v)
+                    for k, v in value.items()
+                    if isinstance(v, (int, float))
+                )
+            elif isinstance(value, (int, float)):
+                rows.append((name, "", value))
+        path = write_rows(
+            os.path.join(args.csv, f"{scenario.name}_metrics.csv"),
+            ["metric", "key", "value"],
+            rows,
+        )
+        print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        os.makedirs(args.json, exist_ok=True)
+        path = os.path.join(args.json, f"{scenario.name}.json")
+        payload = {
+            "scenario": scenario.name,
+            "scheduler": scenario.scheduler,
+            "cpus": scenario.cpus,
+            "quantum": scenario.quantum,
+            "duration": scenario.duration,
+            "tasks": len(scenario.tasks),
+            "wall_s": cell.wall_s,
+            "metrics": _jsonable(cell.metrics),
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path}", file=sys.stderr)
+    if args.audit:
+        summary = cell.metrics["audit"]
+        total = summary["total_violations"]
+        status = "OK" if total == 0 else f"{total} VIOLATION(S)"
+        print(f"invariant audit: {status}")
+        if total:
+            return 1
+    return 0
+
+
+def _cmd_sweep_config(args: argparse.Namespace) -> int:
+    loaded = _load_config_or_die("sweep", args.config)
+    if loaded is None:
+        return 2
+    if isinstance(loaded, Scenario):
+        print(
+            f"sfs-experiment sweep: error: {args.config} is a scenario "
+            "config; add `kind: sweep` and a `base:` block, or run it "
+            "with `sfs-experiment run`",
+            file=sys.stderr,
+        )
+        return 2
+    sweep = loaded
+    metrics = sweep.metrics
+    scenarios = sweep_scenarios(sweep)
+    if args.audit:
+        if "audit" not in metrics:
+            metrics += ("audit",)
+        scenarios = [s.with_(audit=True) for s in scenarios]
+    print(
+        f"sweep: {sweep.base.name}: {len(scenarios)} cells "
+        f"({len(sweep.schedulers) or 1} schedulers x "
+        f"{len(sweep.cpus) or 1} cpus x {len(sweep.quanta) or 1} quanta)"
+    )
+    csv_stream = json_stream = None
+    headers: list[str] | None = None
+    audit_violations = 0
+    try:
+        for cell in stream_cells(
+            scenarios,
+            metrics,
+            workers=args.workers,
+            backend=_cli_backend(args, args.checkpoint),
+            checkpoint=args.checkpoint,
+            chunk_size=args.chunk_size,
+        ):
+            if headers is None:
+                # Scalar metrics become table/CSV columns; structured
+                # ones (shares, audit) stay in the JSON export.
+                scalar = [
+                    m
+                    for m in metrics
+                    if isinstance(cell.metrics[m], (int, float))
+                ]
+                headers = ["scheduler", "cpus", "quantum", *scalar]
+                print(
+                    f"{'scheduler':16s} {'cpus':>4s} {'quantum':>8s}"
+                    + "".join(f" {m:>18s}" for m in scalar)
+                )
+                if args.csv:
+                    csv_stream = RowStream(
+                        os.path.join(args.csv, "sweep.csv"), headers
+                    )
+                if args.json:
+                    json_stream = JsonArrayStream(
+                        os.path.join(args.json, "sweep.json")
+                    )
+            row = (
+                cell.scheduler,
+                cell.cpus,
+                cell.quantum,
+                *(cell.metrics[m] for m in headers[3:]),
+            )
+            line = f"{row[0]:16s} {row[1]:4d} {row[2]:8g}" + "".join(
+                f" {v:18.6g}" for v in row[3:]
+            )
+            if args.audit:
+                summary = cell.metrics["audit"]
+                audit_violations += summary["total_violations"]
+                if summary["total_violations"]:
+                    line += f"  AUDIT {summary['counts']}"
+            print(line)
+            if csv_stream is not None:
+                csv_stream.append(row)
+            if json_stream is not None:
+                payload = dict(zip(headers[:3], row[:3]))
+                payload["metrics"] = _jsonable(cell.metrics)
+                json_stream.append(payload)
+    finally:
+        for stream in (csv_stream, json_stream):
+            if stream is not None:
+                stream.close()
+                print(f"wrote {stream.path}", file=sys.stderr)
+    if args.audit:
+        status = (
+            "OK" if audit_violations == 0
+            else f"{audit_violations} VIOLATION(S)"
+        )
+        print(f"invariant audit across {len(scenarios)} cells: {status}")
+        if audit_violations:
+            return 1
+    return 0
+
+
+def _build_config_parser(command: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=f"sfs-experiment {command}",
+        description=f"{command} a scenario config file "
+        "(YAML/JSON; see `sfs-experiment list` for registered names)",
+    )
+    parser.add_argument(
+        "config", help="config file (.yaml/.yml/.json)"
+    )
+    if command == "run":
+        parser.add_argument(
+            "--duration", type=float, default=None, metavar="SEC",
+            help="override the config's simulated duration",
+        )
+        parser.add_argument(
+            "--metrics", nargs="+", default=None, metavar="NAME",
+            help="override the config's metrics (see `list`)",
+        )
+    parser.add_argument(
+        "--csv", metavar="DIR", default=None,
+        help="export metrics as CSV into DIR",
+    )
+    parser.add_argument(
+        "--json", metavar="DIR", default=None,
+        help="export metrics as JSON into DIR",
+    )
+    _add_exec_args(parser)
+    return parser
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.scenario.result import METRICS
 
@@ -548,6 +815,14 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print()
     print("sweep metrics (Sweep.metrics / Scenario.metrics names):")
     for name in sorted(METRICS):
+        print(f"  {name}")
+    print()
+    print("arrival processes (`streams[].arrival.kind` in config files):")
+    for name in arrival_names():
+        print(f"  {name}")
+    print()
+    print("demand distributions (`streams[].demand.kind` in config files):")
+    for name in demand_names():
         print(f"  {name}")
     return 0
 
@@ -705,7 +980,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint",
         add_help=False,
         help="run the repo-specific determinism/soundness linter "
-        "(rules SFS001-SFS006; see `lint --list-rules`)",
+        "(rules SFS001-SFS007; see `lint --list-rules`)",
     )
     return parser
 
@@ -721,6 +996,24 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.staticcheck import main as lint_main
 
         return lint_main(argv[1:])
+    # Config-file mode: `run <file.yaml>` / `sweep <file.yaml>` take a
+    # different option set than the experiment-id/built-in-grid forms,
+    # so they are dispatched on the positional's suffix before argparse.
+    if (
+        len(argv) >= 2
+        and argv[0] in ("run", "sweep")
+        and _is_config_path(argv[1])
+    ):
+        command = argv[0]
+        args = _build_config_parser(command).parse_args(argv[1:])
+        handler = _cmd_run_config if command == "run" else _cmd_sweep_config
+        try:
+            return handler(args)
+        except ValueError as exc:
+            print(
+                f"sfs-experiment {command}: error: {exc}", file=sys.stderr
+            )
+            return 2
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         try:

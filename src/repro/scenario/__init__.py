@@ -29,6 +29,29 @@ new module::
     print(result.shares())
 """
 
+from repro.scenario.arrivals import (
+    ARRIVALS,
+    arrival_names,
+    make_arrival,
+    register_arrival,
+)
+from repro.scenario.demands import (
+    DEMANDS,
+    demand_names,
+    make_demand,
+    register_demand,
+)
+from repro.scenario.io import (
+    ConfigError,
+    dump_scenario,
+    dumps_scenario,
+    load_config,
+    load_scenario,
+    load_sweep,
+    loads_config,
+    scenario_to_dict,
+)
+from repro.scenario.population import generated_tasks
 from repro.scenario.result import (
     METRICS,
     SimulationResult,
@@ -70,15 +93,32 @@ from repro.scenario.sweep import (
 )
 
 __all__ = [
+    "ARRIVALS",
     "Compile",
     "Compute",
+    "ConfigError",
+    "DEMANDS",
     "Disksim",
     "Inf",
     "METRICS",
     "SERVER_WEIGHT_CLASSES",
+    "arrival_names",
     "busy_window_end",
     "class_shares",
+    "demand_names",
+    "dump_scenario",
+    "dumps_scenario",
+    "generated_tasks",
+    "load_config",
+    "load_scenario",
+    "load_sweep",
+    "loads_config",
+    "make_arrival",
+    "make_demand",
     "percentile",
+    "register_arrival",
+    "register_demand",
+    "scenario_to_dict",
     "server_scenario",
     "InteractiveLoop",
     "Kill",

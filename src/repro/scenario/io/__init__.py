@@ -1,0 +1,36 @@
+"""Scenario config I/O: schema-validated YAML/JSON <-> Scenario/Sweep.
+
+See :mod:`repro.scenario.io.loader` for the config format and
+:mod:`repro.scenario.io.schema` for the validation machinery.
+"""
+
+from repro.scenario.io.loader import (
+    CONFIG_SUFFIXES,
+    config_from_dict,
+    dump_scenario,
+    dumps_scenario,
+    load_config,
+    load_scenario,
+    load_sweep,
+    loads_config,
+    scenario_from_dict,
+    scenario_to_dict,
+    sweep_from_dict,
+)
+from repro.scenario.io.schema import ConfigError, FieldSpec
+
+__all__ = [
+    "CONFIG_SUFFIXES",
+    "ConfigError",
+    "FieldSpec",
+    "config_from_dict",
+    "dump_scenario",
+    "dumps_scenario",
+    "load_config",
+    "load_scenario",
+    "load_sweep",
+    "loads_config",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "sweep_from_dict",
+]

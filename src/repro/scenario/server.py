@@ -35,10 +35,12 @@ N ∈ {100, 1000, 5000}).
 
 from __future__ import annotations
 
-import random
 from typing import Any, Mapping
 
-from repro.scenario.spec import Compute, Scenario, TaskSpec
+from repro.scenario.arrivals import PoissonArrivals
+from repro.scenario.demands import BoundedParetoDemand
+from repro.scenario.population import generated_tasks
+from repro.scenario.spec import Scenario
 
 __all__ = [
     "SERVER_WEIGHT_CLASSES",
@@ -117,32 +119,21 @@ def server_scenario(
             f"weight-class probabilities must sum to 1, got {probs}"
         )
 
-    rng = random.Random(seed)
-    lam = load * cpus / mean_service
-    # Bounded Pareto: stdlib paretovariate (support [1, inf)) scaled so
-    # the *unbounded* mean is mean_service, then truncated. Truncation
-    # pulls the realized mean slightly below the target, which only
-    # nudges the effective load down — fine for a synthetic family.
-    scale = mean_service * (pareto_shape - 1.0) / pareto_shape
-    cap = service_cap_factor * mean_service
-    names = [name for name, _, _ in weight_classes]
-    weights = {name: w for name, w, _ in weight_classes}
-
-    specs: list[TaskSpec] = []
-    t = 0.0
-    for i in range(n_tasks):
-        t += rng.expovariate(lam)
-        demand = min(scale * rng.paretovariate(pareto_shape), cap)
-        cls = rng.choices(names, weights=probs)[0]
-        specs.append(
-            TaskSpec(
-                name=f"{cls}-{i:05d}",
-                weight=weights[cls],
-                behavior=Compute(demand),
-                at=t,
-            )
-        )
-    duration = t * drain_factor
+    # Poisson arrivals + bounded-Pareto demands from the registries.
+    # Truncation pulls the realized mean slightly below mean_service,
+    # which only nudges the effective load down — fine for a synthetic
+    # family. generated_tasks preserves the historical per-task draw
+    # order, so existing (n, seed) populations are bit-identical.
+    specs = generated_tasks(
+        n_tasks,
+        arrival=PoissonArrivals(load * cpus / mean_service),
+        demand=BoundedParetoDemand(
+            mean_service, shape=pareto_shape, cap_factor=service_cap_factor
+        ),
+        weight_classes=weight_classes,
+        seed=seed,
+    )
+    duration = specs[-1].at * drain_factor
     return Scenario(
         name=f"server-n{n_tasks}-{scheduler}-seed{seed}",
         scheduler=scheduler,

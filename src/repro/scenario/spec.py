@@ -329,6 +329,14 @@ class Scenario:
         from repro.scenario.result import check_metrics
 
         check_metrics(self.metrics)
+        if self.scheduler_params:
+            # Same fail-fast treatment for scheduler constructor
+            # overrides: a typo'd key dies here, not in a sweep worker.
+            # Unregistered scheduler names skip this (and still fail at
+            # run time with the registry's unknown-scheduler error).
+            from repro.schedulers.registry import check_scheduler_params
+
+            check_scheduler_params(self.scheduler, self.scheduler_params)
         if "audit" in self.metrics and not self.audit:
             raise ValueError(
                 "metric 'audit' requires Scenario(audit=True)"

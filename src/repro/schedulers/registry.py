@@ -24,14 +24,26 @@ and every experiment, sweep and CLI subcommand can name it.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from repro.sim.scheduler import Scheduler
 
-__all__ = ["SCHEDULERS", "register", "make_scheduler", "scheduler_names"]
+__all__ = [
+    "SCHEDULERS",
+    "register",
+    "make_scheduler",
+    "scheduler_names",
+    "scheduler_params_for",
+    "check_scheduler_params",
+]
 
 #: name -> factory accepting keyword overrides (populated by @register)
 SCHEDULERS: dict[str, Callable[..., Scheduler]] = {}
+
+#: name -> the raw decorated factory (before preset wrapping); lets
+#: introspection reach the factory's ``param_source`` attribute
+FACTORIES: dict[str, Callable[..., Scheduler]] = {}
 
 
 def register(
@@ -53,6 +65,7 @@ def register(
             return factory(**options)
 
         SCHEDULERS[name] = build
+        FACTORIES[name] = factory
         return factory
 
     return decorator
@@ -75,6 +88,58 @@ def make_scheduler(name: str, **overrides: object) -> Scheduler:
 def scheduler_names() -> list[str]:
     """All registered scheduler names, sorted."""
     return sorted(SCHEDULERS)
+
+
+def scheduler_params_for(name: str) -> frozenset[str] | None:
+    """Keyword parameters ``name``'s scheduler constructor accepts.
+
+    Built-in factories advertise their policy class via a
+    ``param_source`` attribute; its constructor signature is the source
+    of truth. Returns ``None`` — meaning "unknown, skip validation" —
+    for unregistered names, factories without a ``param_source``
+    (downstream registrations are unaffected by the check), and
+    constructors taking ``**kwargs``.
+    """
+    source = getattr(FACTORIES.get(name), "param_source", None)
+    if source is None:
+        return None
+    try:
+        signature = inspect.signature(source)
+    except (TypeError, ValueError):
+        return None
+    params: list[str] = []
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return None
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            params.append(parameter.name)
+    return frozenset(params)
+
+
+def check_scheduler_params(name: str, params: object) -> None:
+    """Fail fast on ``scheduler_params`` keys the policy cannot take.
+
+    Raises ``ValueError`` listing the offending keys and the valid
+    ones, so a typo like ``scan_dpeth`` dies at :class:`Scenario`
+    construction instead of deep inside a sweep worker. Silently
+    accepts anything when :func:`scheduler_params_for` returns
+    ``None`` — the scenario layer still reports unknown *scheduler
+    names* at run time, exactly as before.
+    """
+    valid = scheduler_params_for(name)
+    if valid is None:
+        return
+    unknown = sorted(set(params) - valid)
+    if unknown:
+        shown = ", ".join(repr(key) for key in unknown)
+        accepted = ", ".join(sorted(valid)) or "(none)"
+        raise ValueError(
+            f"scheduler {name!r} does not accept scheduler_params "
+            f"{shown}; accepted: {accepted}"
+        )
 
 
 def _populate() -> None:
@@ -103,15 +168,21 @@ def _populate() -> None:
         """Surplus fair scheduling (Eq. 4), with variants via presets."""
         return SurplusFairScheduler(**options)
 
+    _sfs.param_source = SurplusFairScheduler
+
     @register("sfs-heuristic")
     def _sfs_heuristic(**options) -> Scheduler:
         """SFS with the §3.2 production heuristic decision path."""
         return HeuristicSurplusFairScheduler(**options)
 
+    _sfs_heuristic.param_source = HeuristicSurplusFairScheduler
+
     @register("hierarchical-sfs")
     def _hierarchical(**options) -> Scheduler:
         """Two-level SFS: surplus fairness across groups, then members."""
         return HierarchicalSurplusFairScheduler(**options)
+
+    _hierarchical.param_source = HierarchicalSurplusFairScheduler
 
     @register("sfq")
     @register("sfq-readjust", readjust=True)
@@ -119,15 +190,21 @@ def _populate() -> None:
         """Start-time fair queueing carried over from uniprocessors (§2)."""
         return StartTimeFairScheduler(**options)
 
+    _sfq.param_source = StartTimeFairScheduler
+
     @register("gms-reference")
     def _gms(**options) -> Scheduler:
         """Discrete tracker of the generalized multiprocessor sharing ideal."""
         return GMSReferenceScheduler(**options)
 
+    _gms.param_source = GMSReferenceScheduler
+
     @register("linux-ts")
     def _linux_ts(**options) -> Scheduler:
         """Linux 2.x-style time sharing (the paper's unfair baseline)."""
         return LinuxTimeSharingScheduler(**options)
+
+    _linux_ts.param_source = LinuxTimeSharingScheduler
 
     @register("stride")
     @register("stride-readjust", readjust=True)
@@ -135,11 +212,15 @@ def _populate() -> None:
         """Stride scheduling; deterministic pass/stride proportional share."""
         return StrideScheduler(**options)
 
+    _stride.param_source = StrideScheduler
+
     @register("wfq")
     @register("wfq-readjust", readjust=True)
     def _wfq(**options) -> Scheduler:
         """Weighted fair queueing with finish-tag ordering."""
         return WeightedFairQueueingScheduler(**options)
+
+    _wfq.param_source = WeightedFairQueueingScheduler
 
     @register("bvt")
     @register("bvt-readjust", readjust=True)
@@ -147,16 +228,22 @@ def _populate() -> None:
         """Borrowed virtual time with weighted warping."""
         return BorrowedVirtualTimeScheduler(**options)
 
+    _bvt.param_source = BorrowedVirtualTimeScheduler
+
     @register("lottery")
     @register("lottery-readjust", readjust=True)
     def _lottery(**options) -> Scheduler:
         """Lottery scheduling; randomized proportional share (seeded)."""
         return LotteryScheduler(**options)
 
+    _lottery.param_source = LotteryScheduler
+
     @register("round-robin")
     def _round_robin(**options) -> Scheduler:
         """Equal-slice round robin, ignoring weights."""
         return RoundRobinScheduler(**options)
+
+    _round_robin.param_source = RoundRobinScheduler
 
 
 _populate()

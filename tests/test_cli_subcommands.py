@@ -245,3 +245,105 @@ class TestListSubcommand:
     def test_no_arguments_is_an_error(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+SCENARIO_YAML = """\
+name: demo
+duration: 2.0
+metrics: [jains, completed]
+groups:
+  - {count: 3, prefix: w}
+"""
+
+SWEEP_YAML = """\
+kind: sweep
+base:
+  name: demo
+  duration: 1.0
+  groups:
+    - {count: 2, prefix: w}
+schedulers: [sfs, sfq]
+cpus: [1, 2]
+metrics: [jains]
+"""
+
+
+class TestConfigMode:
+    @pytest.fixture
+    def scenario_file(self, tmp_path):
+        path = tmp_path / "demo.yaml"
+        path.write_text(SCENARIO_YAML)
+        return path
+
+    @pytest.fixture
+    def sweep_file(self, tmp_path):
+        path = tmp_path / "demo_sweep.yaml"
+        path.write_text(SWEEP_YAML)
+        return path
+
+    def test_run_config_file(self, scenario_file, capsys):
+        assert main(["run", str(scenario_file)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario: demo" in out
+        assert "jains" in out and "completed" in out
+
+    def test_run_config_duration_override(self, scenario_file, capsys):
+        assert main(["run", str(scenario_file), "--duration", "0.5"]) == 0
+        assert "duration=0.5" in capsys.readouterr().out
+
+    def test_run_config_exports(self, scenario_file, tmp_path, capsys):
+        outdir = tmp_path / "out"
+        code = main([
+            "run", str(scenario_file),
+            "--csv", str(outdir), "--json", str(outdir),
+        ])
+        assert code == 0
+        with open(outdir / "demo_metrics.csv", newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["metric", "key", "value"]
+        assert {r[0] for r in rows[1:]} == {"jains", "completed"}
+        with open(outdir / "demo.json") as fh:
+            payload = json.load(fh)
+        assert payload["scenario"] == "demo"
+        assert "jains" in payload["metrics"]
+
+    def test_sweep_config_file(self, sweep_file, capsys):
+        assert main(["sweep", str(sweep_file), "--workers", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "4 cells" in out
+        rows = [line for line in out.splitlines() if line.startswith(("sfs", "sfq"))]
+        assert [r.split()[0] for r in rows] == ["sfs", "sfs", "sfq", "sfq"]
+
+    def test_sweep_config_through_backends(self, sweep_file, capsys):
+        main(["sweep", str(sweep_file), "--workers", "0"])
+        serial = capsys.readouterr().out
+        main(["sweep", str(sweep_file), "--backend", "process", "--workers", "2"])
+        pooled = capsys.readouterr().out
+        assert serial == pooled
+
+    def test_run_rejects_sweep_config(self, sweep_file, capsys):
+        assert main(["run", str(sweep_file)]) == 2
+        assert "sweep" in capsys.readouterr().err
+
+    def test_sweep_rejects_scenario_config(self, scenario_file, capsys):
+        assert main(["sweep", str(scenario_file)]) == 2
+        assert "scenario" in capsys.readouterr().err
+
+    def test_missing_config_file(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.yaml")]) == 2
+        assert "nope.yaml" in capsys.readouterr().err
+
+    def test_invalid_config_reports_dotted_path(self, tmp_path, capsys):
+        path = tmp_path / "bad.yaml"
+        path.write_text("name: bad\ncpus: 0\nduration: 1.0\n")
+        assert main(["run", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "cpus" in err and ">= 1" in err
+
+    def test_list_names_arrivals_and_demands(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "arrival processes" in out
+        assert "poisson" in out and "flash-crowd" in out
+        assert "demand distributions" in out
+        assert "bounded-pareto" in out and "lognormal" in out

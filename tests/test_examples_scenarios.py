@@ -1,0 +1,53 @@
+"""The example scenario library must stay loadable and runnable.
+
+``examples/scenarios/`` is executable documentation: CI runs every
+config, the README indexes them, and ``server_cell.yaml`` pins the
+whole config pipeline against the python-built ``server_scenario``
+twin — bit-identical population, duration and ``SimulationResult``.
+"""
+
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.scenario import load_scenario, run_scenario, server_scenario
+from repro.scenario.spec import Scenario
+
+SCENARIO_DIR = Path(__file__).resolve().parents[1] / "examples" / "scenarios"
+CONFIGS = sorted(SCENARIO_DIR.glob("*.yaml"))
+
+
+def test_library_is_nonempty_and_indexed():
+    assert len(CONFIGS) >= 8
+    readme = (SCENARIO_DIR / "README.md").read_text()
+    for config in CONFIGS:
+        assert f"`{config.name}`" in readme, f"{config.name} missing from README"
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda p: p.stem)
+def test_example_config_loads(config):
+    scenario = load_scenario(config)
+    assert isinstance(scenario, Scenario)
+    assert scenario.name
+    assert scenario.metrics, "example configs should name their metrics"
+    assert scenario.duration is not None and scenario.duration > 0
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda p: p.stem)
+def test_example_config_runs_shortened(config):
+    scenario = load_scenario(config)
+    short = scenario.with_(
+        duration=min(scenario.duration, 2.0), metrics=("completed", "jains")
+    )
+    result = run_scenario(short)
+    assert set(result.metrics) == {"completed", "jains"}
+
+
+def test_server_cell_twin_is_bit_identical():
+    loaded = load_scenario(SCENARIO_DIR / "server_cell.yaml")
+    built = server_scenario(400, metrics=("class_shares", "jains"))
+    assert loaded == built
+    r1 = run_scenario(loaded)
+    r2 = run_scenario(built)
+    assert pickle.dumps(r1.metrics) == pickle.dumps(r2.metrics)

@@ -311,3 +311,42 @@ class TestSweep:
         # and the params actually reach the scheduler
         result = run_scenario(by_sched["sfs-heuristic"])
         assert result.scheduler.scan_depth == 5
+
+
+class TestSchedulerParamValidation:
+    """scheduler_params keys are checked against the policy constructor
+    at Scenario construction, not at run time."""
+
+    def test_typo_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="scan_dpeth"):
+            _basic(scheduler="sfs-heuristic", scheduler_params={"scan_dpeth": 3})
+
+    def test_error_lists_accepted_params(self):
+        with pytest.raises(ValueError, match="scan_depth"):
+            _basic(scheduler="sfs-heuristic", scheduler_params={"bogus": 1})
+
+    def test_valid_params_accepted(self):
+        scn = _basic(
+            scheduler="sfs-heuristic", scheduler_params={"scan_depth": 3}
+        )
+        assert scn.scheduler_params == {"scan_depth": 3}
+
+    def test_params_for_paramless_policy_rejected(self):
+        with pytest.raises(ValueError, match="round-robin"):
+            _basic(scheduler="round-robin", scheduler_params={"anything": 1})
+
+    def test_unregistered_scheduler_skips_param_check(self):
+        # unknown policies must still fail at *run* time with the
+        # canonical message (see test_unknown_scheduler_rejected), so
+        # construction cannot reject them early
+        scn = _basic(scheduler="cfs", scheduler_params={"whatever": 1})
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            run_scenario(scn)
+
+    def test_introspection_surface(self):
+        from repro.schedulers.registry import scheduler_params_for
+
+        params = scheduler_params_for("sfs")
+        assert params is not None and "readjust" in params
+        assert scheduler_params_for("round-robin") == frozenset()
+        assert scheduler_params_for("cfs") is None

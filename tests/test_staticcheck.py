@@ -1,4 +1,4 @@
-"""Unit tests for the repo-specific determinism linter (SFS001-006).
+"""Unit tests for the repo-specific determinism linter (SFS001-007).
 
 Each rule gets a firing case and a clean case; the engine gets
 discovery, suppression, scope, rendering and CLI coverage; and the
@@ -47,8 +47,8 @@ def _rules_fired(source, rule_id, scope="sim"):
 # ----------------------------------------------------------------------
 
 
-def test_all_six_rules_registered():
-    assert rule_ids() == [f"SFS00{i}" for i in range(1, 7)]
+def test_all_seven_rules_registered():
+    assert rule_ids() == [f"SFS00{i}" for i in range(1, 8)]
 
 
 def test_every_rule_has_title_and_scope_metadata():
@@ -389,3 +389,77 @@ def test_repository_lints_clean():
     rendered = "\n".join(v.render() for v in violations)
     assert not violations, f"repo must lint clean:\n{rendered}"
     assert files_checked > 100
+
+
+# ----------------------------------------------------------------------
+# SFS007: scenario configs must schema-validate
+# ----------------------------------------------------------------------
+
+GOOD_CONFIG = """\
+name: ok
+duration: 1.0
+tasks:
+  - {name: a}
+"""
+
+BAD_CONFIG = """\
+name: broken
+cpus: -3
+duration: 1.0
+"""
+
+
+def test_sfs007_flags_invalid_config(tmp_path):
+    scenarios = tmp_path / "scenarios"
+    scenarios.mkdir()
+    (scenarios / "bad.yaml").write_text(BAD_CONFIG)
+    violations, files_checked = lint_paths([tmp_path])
+    assert files_checked == 1
+    assert [v.rule for v in violations] == ["SFS007"]
+    assert "cpus" in violations[0].message
+
+
+def test_sfs007_passes_valid_config(tmp_path):
+    scenarios = tmp_path / "scenarios"
+    scenarios.mkdir()
+    (scenarios / "good.yaml").write_text(GOOD_CONFIG)
+    violations, files_checked = lint_paths([tmp_path])
+    assert files_checked == 1
+    assert violations == []
+
+
+def test_sfs007_validates_json_configs(tmp_path):
+    scenarios = tmp_path / "scenarios"
+    scenarios.mkdir()
+    (scenarios / "bad.json").write_text('{"name": "broken", "cpus": []}')
+    violations, _ = lint_paths([tmp_path])
+    assert [v.rule for v in violations] == ["SFS007"]
+
+
+def test_configs_outside_scenarios_dirs_not_discovered(tmp_path):
+    (tmp_path / "random.yaml").write_text(BAD_CONFIG)
+    violations, files_checked = lint_paths([tmp_path])
+    assert files_checked == 0
+    assert violations == []
+
+
+def test_explicit_config_path_is_linted(tmp_path):
+    config = tmp_path / "direct.yaml"
+    config.write_text(BAD_CONFIG)
+    violations, files_checked = lint_paths([config])
+    assert files_checked == 1
+    assert [v.rule for v in violations] == ["SFS007"]
+
+
+def test_sfs007_pragma_works_from_yaml(tmp_path):
+    scenarios = tmp_path / "scenarios"
+    scenarios.mkdir()
+    waived = "name: broken  # sfs-lint: disable=SFS007\ncpus: -3\nduration: 1.0\n"
+    (scenarios / "waived.yaml").write_text(waived)
+    violations, files_checked = lint_paths([tmp_path])
+    assert files_checked == 1
+    assert violations == []
+
+
+def test_default_roots_include_examples():
+    assert "examples" in DEFAULT_ROOTS
