@@ -24,6 +24,7 @@ import time
 import pytest
 
 from repro.scenario import class_shares, run_cells, run_scenario, server_scenario
+from repro.sim.engine import build_info
 
 #: the family's scaling ladder; 5000 is the acceptance-criteria point
 SIZES = [100, 1000, 5000]
@@ -39,6 +40,10 @@ CONFIGS = [
     ("sfs-overload", "sfs", 1.6),
     ("sfs-heuristic-overload", "sfs-heuristic", 1.6),
     ("sfq-overload", "sfq", 1.6),
+    # Cheapest per-decision policy under overload: the cell where the
+    # event loop itself (not the scheduler) dominates, i.e. the purest
+    # measure of the calendar-queue/compiled-engine work.
+    ("round-robin-overload", "round-robin", 1.6),
 ]
 LABELS = [label for label, _, _ in CONFIGS]
 
@@ -79,6 +84,10 @@ def test_server_scale_events_per_sec(benchmark, n, label):
     events = result.machine.engine.events_fired
     benchmark.extra_info["scheduler"] = label
     benchmark.extra_info["n_tasks"] = n
+    # Which hot path produced this number (compiled C engine vs pure
+    # Python, and which event queue) — without it the perf trajectory
+    # across PRs can't be attributed.
+    benchmark.extra_info["engine_build"] = build_info()["engine"]
     benchmark.extra_info["events"] = events
     benchmark.extra_info["events_per_sec"] = round(events / wall)
     benchmark.extra_info["context_switches"] = result.trace.context_switches

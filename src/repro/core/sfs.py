@@ -31,13 +31,37 @@ Invariants maintained (checked by the test suite):
 
 from __future__ import annotations
 
-from repro.core.fixed_point import TagArithmetic
+import os
+
+from repro.core.fixed_point import FloatTags, TagArithmetic
 from repro.core.tags import TaggedScheduler
 from repro.sim.costs import DecisionCostParams
 from repro.sim.runqueue import SortedTaskList
 from repro.sim.task import Task, TaskState
 
 __all__ = ["SurplusFairScheduler"]
+
+
+def _load_compiled_recompute():
+    """The C surplus-recompute helper, honouring the SFS_ENGINE policy.
+
+    Returns ``repro.sim._engine.sfs_recompute`` when the optional
+    extension is importable and ``SFS_ENGINE`` does not force the pure
+    path, else None. The helper reproduces ``FloatTags.surplus`` bit
+    for bit (same IEEE-double expression), so it is gated per scheduler
+    instance on the tag arithmetic actually being :class:`FloatTags` —
+    fixed-point tags keep the pure integer loop.
+    """
+    if os.environ.get("SFS_ENGINE", "auto") == "pure":
+        return None
+    try:
+        from repro.sim._engine import sfs_recompute
+    except ImportError:
+        return None
+    return sfs_recompute
+
+
+_C_RECOMPUTE = _load_compiled_recompute()
 
 
 class SurplusFairScheduler(TaggedScheduler):
@@ -78,7 +102,9 @@ class SurplusFairScheduler(TaggedScheduler):
     ) -> None:
         if affinity_bonus < 0:
             raise ValueError(f"affinity_bonus must be >= 0, got {affinity_bonus}")
-        super().__init__(readjust=readjust, tag_math=tag_math, wake_preempt=wake_preempt)
+        super().__init__(
+            readjust=readjust, tag_math=tag_math, wake_preempt=wake_preempt
+        )
         self.affinity_bonus = affinity_bonus
         #: dispatches that kept the CPU's previous thread thanks to the
         #: affinity bonus (instrumentation for the ablation bench)
@@ -163,26 +189,39 @@ class SurplusFairScheduler(TaggedScheduler):
         §3.1: "if the virtual time changes from the previous scheduling
         instance, then the scheduler must update the surplus values of
         all runnable threads (since alpha_i is a function of v) and
-        re-sort the queue." Insertion sort exploits the mostly-sorted
-        order (§3.2).
+        re-sort the queue." The paper's kernel re-sorts its linked list
+        with insertion sort to exploit the mostly-sorted order (§3.2);
+        here the recompute loop and the re-sort are fused into a single
+        pass plus one :meth:`~repro.sim.runqueue.SortedTaskList.rebuild_sorted`
+        call, whose timsort is near-linear on the same mostly-sorted
+        input but runs its comparisons in C. Keys are unique (tid
+        tie-break), so any sort produces the identical final order —
+        the decision sequence is bit-for-bit unchanged. This recompute
+        *is* the dominant cost of exact SFS under overload (runnable
+        sets in the thousands, one recompute per decision), which is
+        why the whole pass drops into C when the optional extension is
+        built and the tags are plain floats; see docs/PERFORMANCE.md
+        for measurements.
         """
         v = self._vtime
-        for task in self.surplus_queue:
-            task.sched["alpha"] = self.tags.surplus(task.phi, task.sched["S"], v)
-        self._resort_surplus_queue()
+        queue = self.surplus_queue
+        if _C_RECOMPUTE is not None and type(self.tags) is FloatTags:
+            # One C call: compute every alpha = phi*(S-v), write it into
+            # task.sched, sort by (alpha, tid), and install the queue's
+            # new internal state. Bit-identical to the loop below.
+            _C_RECOMPUTE(queue._tasks, v, queue)
+        else:
+            surplus = self.tags.surplus
+            keyed = []
+            append = keyed.append
+            for task in queue:
+                alpha = surplus(task.phi, task.sched["S"], v)
+                task.sched["alpha"] = alpha
+                append(((alpha, task.tid), task))
+            queue.rebuild_sorted(keyed)
         self.resort_count += 1
         self._surplus_dirty = False
         self._v_at_recompute = v
-
-    def _resort_surplus_queue(self) -> None:
-        """Restore queue-3 order after a bulk surplus recompute.
-
-        Exact SFS recomputes at *every* virtual-time change, so the
-        queue is mostly sorted and insertion sort is near-linear. The
-        heuristic overrides this: it refreshes rarely, arrives with a
-        scrambled order, and needs the full-sort bound instead.
-        """
-        self.surplus_queue.resort_insertion()
 
     def pick_next(self, cpu: int, now: float) -> Task | None:
         self.decision_count += 1

@@ -28,10 +28,12 @@ under overload (runnable sets in the thousands):
   surpluses; fixed-point shifts may round), so the next decision
   forces a full refresh immediately rather than trusting a stale order
   for up to ``refresh_every`` more decisions;
-- the periodic refresh re-sorts with a full O(n log n) sort, not the
-  exact path's insertion sort: after ``refresh_every`` decisions of
-  drift the queue is arbitrarily scrambled, which is insertion sort's
-  quadratic case.
+- the periodic refresh shares the exact path's fused
+  recompute-and-rebuild (one pass computing fresh surpluses, one
+  timsort): O(n log n) guaranteed even though after ``refresh_every``
+  decisions of drift the queue arrives arbitrarily scrambled —
+  insertion sort's quadratic case, which is why the §3.2 insertion
+  re-sort is not used here.
 
 Set ``track_accuracy=True`` to have every decision also compute the
 exact minimum-surplus thread and record whether the heuristic matched —
@@ -85,7 +87,9 @@ class HeuristicSurplusFairScheduler(SurplusFairScheduler):
             raise ValueError(f"scan_depth must be >= 1, got {scan_depth}")
         if refresh_every < 1:
             raise ValueError(f"refresh_every must be >= 1, got {refresh_every}")
-        super().__init__(tag_math=tag_math, wake_preempt=wake_preempt, readjust=readjust)
+        super().__init__(
+            tag_math=tag_math, wake_preempt=wake_preempt, readjust=readjust
+        )
         self.scan_depth = scan_depth
         self.refresh_every = refresh_every
         self.track_accuracy = track_accuracy
@@ -129,12 +133,6 @@ class HeuristicSurplusFairScheduler(SurplusFairScheduler):
         # arithmetic, but fixed-point shifts round — refreshing once is
         # cheap insurance against a silently reordered queue.
         self._order_stale = True
-
-    def _resort_surplus_queue(self) -> None:
-        # After refresh_every decisions of drift the queue is far from
-        # sorted; insertion sort (the exact path's choice) would be
-        # quadratic here. Full sort keeps the refresh O(n log n).
-        self.surplus_queue.resort()
 
     # ------------------------------------------------------------------
     # the bounded decision scan

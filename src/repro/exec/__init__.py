@@ -18,7 +18,27 @@ One small protocol — :class:`~repro.exec.base.ExecutionBackend`:
   a line-JSON protocol on stdio.
 
 :func:`make_backend` resolves the ``--backend`` names the CLI and
-``run_cells`` accept.
+``run_cells`` accept. Whatever the backend, ``run_sweep``/``run_cells``
+return cell lists identical to the serial reference — the equivalence
+is pinned by hypothesis model tests.
+
+**Checkpoint/resume** (:class:`~repro.exec.chunked.ChunkedBackend`).
+Every finished cell is one flushed JSON line — ``index``, coordinates,
+metrics, ``wall_s``, plus a scenario fingerprint. On resume the file is
+validated against the grid: a checkpoint from a *different* grid fails
+loudly, even one whose (scheduler, cpus, quantum) coordinates coincide
+but whose duration/population/seed/metrics differ, and a torn final
+line (kill mid-write) is dropped with a warning. Completed cells replay
+from the file bit-for-bit (JSON round-trips floats exactly); only the
+remainder executes.
+
+**Worker protocol** (:class:`~repro.exec.sshexec.SSHBackend` ↔
+``sfs-experiment worker``). One request/response JSON line per cell
+(``{"op": "run", "index": ..., "scenario": <b64>, "metrics": [...]}``
+→ ``{"op": "result", ...}``), ``ping``/``pong``, ``shutdown``/``bye``,
+and a ``hello`` banner on connect. Scenarios travel as
+base64(zlib(pickle)) — run workers only on hosts you trust with code
+execution (i.e. your own ssh fleet).
 """
 
 from __future__ import annotations

@@ -805,6 +805,12 @@ def _build_config_parser(command: str) -> argparse.ArgumentParser:
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.scenario.result import METRICS
 
+    if getattr(args, "build_info", False):
+        from repro.sim.engine import build_info
+
+        for key, value in build_info().items():
+            print(f"{key}: {value}")
+        return 0
     print("experiments:")
     for name in sorted(EXPERIMENTS):
         print(f"  {name:12s} {_DESCRIPTIONS.get(name, '')}")
@@ -973,7 +979,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serve the execution-backend worker protocol "
         "(line-JSON over stdio; used by --backend ssh)",
     )
-    sub.add_parser("list", help="list experiment ids and scheduler names")
+    p_list = sub.add_parser(
+        "list", help="list experiment ids and scheduler names"
+    )
+    p_list.add_argument(
+        "--build-info",
+        action="store_true",
+        help="report which engine build is active (compiled C extension "
+        "vs pure Python, and which event queue) instead of the registries",
+    )
     # `lint` is dispatched before parsing (it owns its own argparse in
     # repro.analysis.staticcheck); registered here only for --help.
     sub.add_parser(

@@ -27,6 +27,17 @@ new module::
     )
     result = run_scenario(scn)
     print(result.shares())
+
+Scenarios are also *data*: :mod:`repro.scenario.io` loads and dumps
+schema-validated YAML/JSON configs (``load_scenario`` /
+``dump_scenario``; ``Scenario -> YAML -> Scenario`` is the identity),
+and generated populations compose an arrival process with a demand
+distribution through the :data:`ARRIVALS` / :data:`DEMANDS` registries
+(``register_arrival`` / ``register_demand`` add kinds that every
+config file and ``sfs-experiment list`` then knows). For
+thousands-of-tasks populations use
+:func:`~repro.scenario.server.server_scenario`; grid execution is
+delegated to the pluggable backends of :mod:`repro.exec`.
 """
 
 from repro.scenario.arrivals import (

@@ -136,7 +136,9 @@ class Machine:
         self._live_count = 0  # arrived, non-exited tasks (incremental)
         self._proc_by_tid: dict[int, Processor] = {}  # RUNNING task -> CPU
         self._wake_handles: dict[int, EventHandle] = {}
-        self._prev_task: dict[int, Task | None] = {p.cpu_id: None for p in self.processors}
+        self._prev_task: dict[int, Task | None] = {
+            p.cpu_id: None for p in self.processors
+        }
         #: observers invoked as fn(task, now) when a task exits
         self.on_task_exit: list = []
         #: observers invoked as fn(machine, proc, task) right after a

@@ -170,6 +170,57 @@ class SortedTaskList:
         self.comparisons += n * max(1, n.bit_length())
         return n
 
+    def rebuild_sorted(self, keyed: list[tuple[tuple[float, int], Task]]) -> int:
+        """Install externally recomputed keys and restore order.
+
+        ``keyed`` must hold one ``((key, tid), task)`` pair for every
+        current member (any order); it is sorted in place and becomes
+        the queue's new contents. This is the bulk-update fast path for
+        callers that already walk every task to recompute its key — it
+        fuses the key refresh of :meth:`resort` with the caller's own
+        loop, so the pass over the tasks happens once instead of twice,
+        and the sort itself runs at C speed. Returns the element count.
+        """
+        if len(keyed) != len(self._tasks):
+            raise ValueError(
+                f"rebuild_sorted got {len(keyed)} pairs for a queue of "
+                f"{len(self._tasks)} tasks"
+            )
+        keyed.sort()
+        self._keys = [k for k, _ in keyed]
+        self._tasks = [t for _, t in keyed]
+        self._cached_key = {t.tid: k for k, t in keyed}
+        n = len(keyed)
+        self.comparisons += n * max(1, n.bit_length())
+        return n
+
+    def install_sorted(
+        self,
+        keys: list[tuple[float, int]],
+        tasks: list[Task],
+        cached_key: dict[int, tuple[float, int]],
+    ) -> int:
+        """Install fully prepared sorted state (the compiled fast path).
+
+        ``repro.sim._engine.sfs_recompute`` produces exactly these three
+        structures — already sorted, split and indexed — so the exact-SFS
+        recompute can swap them in wholesale instead of rebuilding them
+        from ``(key, task)`` pairs. The caller vouches for the sorted
+        invariant; :meth:`is_sorted` still verifies it against fresh
+        keys in the audit suite. Returns the element count.
+        """
+        if len(tasks) != len(self._tasks):
+            raise ValueError(
+                f"install_sorted got {len(tasks)} tasks for a queue of "
+                f"{len(self._tasks)}"
+            )
+        self._keys = keys
+        self._tasks = tasks
+        self._cached_key = cached_key
+        n = len(tasks)
+        self.comparisons += n * max(1, n.bit_length())
+        return n
+
     def as_list(self) -> list[Task]:
         """A snapshot copy of the queue in key order."""
         return list(self._tasks)

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs — stdlib only, no network.
+
+Checks every inline link and image (``[text](target)``) in the given
+markdown files:
+
+- relative paths must exist on disk (resolved against the linking
+  file's directory, then confined to the repository root);
+- ``#fragment`` anchors — bare or after a ``.md`` path — must match a
+  heading in the target file, using GitHub's slugging rules
+  (lowercase, punctuation dropped, spaces to hyphens, duplicate slugs
+  suffixed ``-1``, ``-2``, ...);
+- ``http(s)``/``mailto`` targets are counted but not fetched (CI has
+  no business depending on external uptime);
+- links that resolve *outside* the repository (e.g. the README badge's
+  ``../../actions/...`` GitHub-UI path) are skipped — they name web
+  routes, not files.
+
+Fenced code blocks are stripped before scanning so YAML/shell samples
+cannot produce false positives. Exit status is the number of broken
+links (0 = clean), one ``file:line: message`` per finding on stderr.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) / ![alt](target) — target up to the first unescaped ')'
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"^(```|~~~)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+# Markdown emphasis/code markers stripped before slugging
+_MARKUP = re.compile(r"[`*_]")
+# GitHub drops everything but word chars, spaces and hyphens
+_SLUG_DROP = re.compile(r"[^\w\- ]")
+
+
+def rel(path: Path) -> str:
+    """Repo-relative display form; absolute if outside the repo."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def slugify(heading: str) -> str:
+    """One heading -> its GitHub anchor slug (sans duplicate suffix)."""
+    text = _MARKUP.sub("", heading.strip()).lower()
+    text = _SLUG_DROP.sub("", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """All anchor slugs a markdown file exposes, duplicates suffixed."""
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(path: Path):
+    """Yield ``(lineno, target)`` for every link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(md: Path, slug_cache: dict[Path, set[str]]) -> list[str]:
+    """All broken-link messages for one markdown file."""
+    errors: list[str] = []
+    for lineno, target in iter_links(md):
+        where = f"{rel(md)}:{lineno}"
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = (md.parent / path_part).resolve()
+            inside_repo = resolved.is_relative_to(REPO_ROOT)
+            if md.is_relative_to(REPO_ROOT) and not inside_repo:
+                continue  # GitHub web route, not a repo file
+            if not resolved.exists():
+                errors.append(f"{where}: missing target {target!r}")
+                continue
+            anchor_file = resolved
+        else:
+            anchor_file = md
+        if not fragment:
+            continue
+        if anchor_file.suffix.lower() not in (".md", ".markdown"):
+            continue  # GitHub line anchors on source files, etc.
+        if anchor_file not in slug_cache:
+            slug_cache[anchor_file] = heading_slugs(anchor_file)
+        if fragment.lower() not in slug_cache[anchor_file]:
+            errors.append(
+                f"{where}: no heading for anchor "
+                f"#{fragment} in {rel(anchor_file)}"
+            )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(
+            "usage: linkcheck.py FILE.md [FILE.md ...]", file=sys.stderr
+        )
+        return 2
+    errors: list[str] = []
+    slug_cache: dict[Path, set[str]] = {}
+    checked = 0
+    for name in argv:
+        md = Path(name).resolve()
+        if not md.exists():
+            errors.append(f"{name}: file not found")
+            continue
+        checked += 1
+        errors.extend(check_file(md, slug_cache))
+    for message in errors:
+        print(message, file=sys.stderr)
+    print(f"linkcheck: {checked} files, {len(errors)} broken links")
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
