@@ -1,6 +1,6 @@
 """Repo-specific AST linter for determinism and soundness conventions.
 
-Seven rules, registered like schedulers (``@rule`` mirrors
+Eleven rules, registered like schedulers (``@rule`` mirrors
 ``@register``), runnable as ``sfs-experiment lint`` or
 ``python -m repro.analysis.staticcheck``:
 
@@ -12,9 +12,18 @@ SFS004  registry hygiene: docstring + unique sane name per entry
 SFS005  no float ``==``/``!=`` on tag/surplus arithmetic
 SFS006  Scenario/SweepCell payloads must stay pickle-safe
 SFS007  example scenario configs must pass schema validation
+SFS008  no call chain from sim code to unseeded RNG / wall clock
+SFS009  no unordered iteration order escaping into sim code
+SFS010  compiled engine mirror surface matches the manifest
+SFS011  compiled engine internals (slots, keys, exprs) match Python
 ======  ==============================================================
 
-Waive a single finding inline with ``# sfs-lint: disable=SFSnnn``.
+SFS001-SFS007 run per file; SFS008/SFS009 need the whole project call
+graph (``lint --project``, :mod:`.project`); SFS010/SFS011 cross-check
+``_engine.c`` against its Python reference (``lint --cboundary``,
+:mod:`.cboundary`). Waive a single finding inline with
+``# sfs-lint: disable=SFSnnn``, or freeze a legacy set with
+``lint --write-baseline`` / ``--baseline``. See docs/CORRECTNESS.md.
 """
 
 from repro.analysis.staticcheck.rules import (
@@ -28,15 +37,18 @@ from repro.analysis.staticcheck.rules import (
     rule_ids,
 )
 from repro.analysis.staticcheck import checks  # noqa: F401  (registers rules)
+from repro.analysis.staticcheck.cboundary import check_cboundary
 from repro.analysis.staticcheck.engine import (
     DEFAULT_ROOTS,
     discover_files,
+    find_repo_root,
     lint_paths,
     lint_source,
     main,
     render_json,
     render_text,
 )
+from repro.analysis.staticcheck.project import project_violations
 
 __all__ = [
     "RULES",
@@ -44,12 +56,15 @@ __all__ = [
     "LintRule",
     "Violation",
     "DEFAULT_ROOTS",
+    "check_cboundary",
     "disabled_ids_by_line",
     "discover_files",
+    "find_repo_root",
     "lint_paths",
     "lint_source",
     "main",
     "make_rules",
+    "project_violations",
     "render_json",
     "render_text",
     "rule",

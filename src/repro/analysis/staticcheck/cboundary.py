@@ -1,0 +1,567 @@
+"""Compiled-boundary conformance checker (rules SFS010/SFS011).
+
+Cross-checks ``src/repro/sim/_engine.c`` against its pure-Python
+reference modules using the declarative manifest in
+:mod:`.cboundary_manifest` and the tokenizer in :mod:`.csrc`:
+
+- **SFS010 (mirror surface)**: the C method/getset/member tables must
+  expose exactly the declared mirror surface, nothing dropped and
+  nothing undeclared, and the Python twin class must still provide
+  every mirrored name.
+- **SFS011 (mirror drift)**: the interned attribute/dict-key names the
+  C reads through cached slot offsets must equal the declared set and
+  still exist on the Python side; the ``alpha = phi * (S - v)``
+  expression must match ``FloatTags.surplus`` token for token under
+  the declared variable map; env flags and exception messages must
+  agree on both sides.
+
+Runs before the extension is ever built (pure text/AST analysis), so
+the CI compiled leg can fail fast on drift even where gcc is absent.
+Entry point: :func:`check_cboundary`, wired into the lint engine via
+``lint --cboundary``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.staticcheck import cboundary_manifest as manifest
+from repro.analysis.staticcheck import csrc
+from repro.analysis.staticcheck.rules import Violation
+
+__all__ = ["check_cboundary"]
+
+#: printf-style directives (``%R``, ``%zd``, ...) -> ``{}``; ``%%`` -> ``%``
+_C_FMT = re.compile(
+    r"%(?:%|[#0\- +]*[0-9*]*(?:\.[0-9*]+)?(?:hh|h|ll|l|j|z|t|L)?[a-zA-Z])"
+)
+
+
+def _c_skeleton(text: str) -> str:
+    """Normalize a C format string to the shared ``{}`` skeleton."""
+    return _C_FMT.sub(lambda m: "%" if m.group(0) == "%%" else "{}", text)
+
+
+def _py_skeletons(tree: ast.AST) -> set[str]:
+    """Every string/f-string in a module, holes normalized to ``{}``."""
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.JoinedStr):
+            parts = []
+            for value in node.values:
+                if isinstance(value, ast.Constant):
+                    parts.append(str(value.value))
+                else:
+                    parts.append("{}")
+            out.add("".join(parts))
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            out.add(node.value)
+    return out
+
+
+def _class_def(tree: ast.AST, name: str) -> ast.ClassDef | None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _class_surface(cls: ast.ClassDef) -> set[str]:
+    """Names a class provides: defs, properties, slots, self-attributes."""
+    names: set[str] = set()
+    for item in cls.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(item.name)
+            for sub in ast.walk(item):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "self"
+                    and isinstance(sub.ctx, ast.Store)
+                ):
+                    names.add(sub.attr)
+        elif isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    for sub in ast.walk(item.value):
+                        if isinstance(sub, ast.Constant) and isinstance(
+                            sub.value, str
+                        ):
+                            names.add(sub.value)
+    return names
+
+
+def _subscript_keys(tree: ast.AST, receiver: str) -> set[str]:
+    """String keys subscripted on ``<anything>.<receiver>`` or ``receiver``."""
+    keys: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Subscript):
+            continue
+        value = node.value
+        named = (
+            isinstance(value, ast.Attribute) and value.attr == receiver
+        ) or (isinstance(value, ast.Name) and value.id == receiver)
+        if not named:
+            continue
+        sl = node.slice
+        if isinstance(sl, ast.Constant) and isinstance(sl.value, str):
+            keys.add(sl.value)
+    return keys
+
+
+def _env_reads(tree: ast.AST) -> set[str]:
+    """First string argument of os.environ.get / os.getenv calls."""
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        attr = node.func.attr
+        if attr not in ("get", "getenv"):
+            continue
+        if node.args and isinstance(node.args[0], ast.Constant):
+            value = node.args[0].value
+            if isinstance(value, str):
+                out.add(value)
+    return out
+
+
+def _render_py_expr(node: ast.AST, name_map: dict[str, str]) -> str | None:
+    """Render an arithmetic expression to the C token-text form.
+
+    Names are translated through ``name_map`` (Python name -> C name);
+    nested binary operands keep explicit parentheses so the rendering
+    is comparable with the C source's token text.
+    """
+    ops = {
+        ast.Add: "+",
+        ast.Sub: "-",
+        ast.Mult: "*",
+        ast.Div: "/",
+        ast.Mod: "%",
+    }
+    if isinstance(node, ast.Name):
+        return name_map.get(node.id, node.id)
+    if isinstance(node, ast.Constant):
+        return repr(node.value)
+    if isinstance(node, ast.BinOp) and type(node.op) in ops:
+        left = _render_py_expr(node.left, name_map)
+        right = _render_py_expr(node.right, name_map)
+        if left is None or right is None:
+            return None
+        if isinstance(node.left, ast.BinOp):
+            left = f"({left})"
+        if isinstance(node.right, ast.BinOp):
+            right = f"({right})"
+        return f"{left}{ops[type(node.op)]}{right}"
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _render_py_expr(node.operand, name_map)
+        return None if inner is None else f"-{inner}"
+    return None
+
+
+class _Checker:
+    """One conformance run: parses everything once, collects violations."""
+
+    def __init__(self, root: Path, c_path: Path | None) -> None:
+        self.root = root
+        self.c_path = c_path if c_path is not None else root / manifest.C_SOURCE
+        self.c_rel = self._rel(self.c_path)
+        self.out: list[Violation] = []
+        self._trees: dict[str, ast.AST | None] = {}
+
+    def _rel(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def add(self, rule: str, path: str, line: int, message: str) -> None:
+        self.out.append(
+            Violation(rule=rule, path=path, line=line, col=0, message=message)
+        )
+
+    def tree(self, rel_path: str) -> ast.AST | None:
+        """Parse (and cache) a repo-relative Python reference file."""
+        if rel_path not in self._trees:
+            file = self.root / rel_path
+            try:
+                self._trees[rel_path] = ast.parse(
+                    file.read_text(encoding="utf-8"), filename=str(file)
+                )
+            except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+                self._trees[rel_path] = None
+                self.add(
+                    "SFS010",
+                    rel_path,
+                    1,
+                    f"python reference file is unreadable "
+                    f"({exc.__class__.__name__}); the compiled-boundary "
+                    "manifest points at it",
+                )
+        return self._trees[rel_path]
+
+    # ------------------------------------------------------------------
+    # SFS010: mirror surface
+    # ------------------------------------------------------------------
+
+    def check_table(
+        self,
+        table: str | None,
+        expected: tuple[str, ...],
+        what: str,
+        c_type: str,
+        py_class: str,
+    ) -> None:
+        if table is None:
+            return
+        entries = csrc.table_entries(self.tokens, table)
+        if entries is None:
+            self.add(
+                "SFS010",
+                self.c_rel,
+                1,
+                f"C table {table!r} (the {c_type} {what} surface) was not "
+                "found; cboundary_manifest expects it",
+            )
+            return
+        names = {t.text: t.line for t in entries}
+        for name in expected:
+            if name not in names:
+                self.add(
+                    "SFS010",
+                    self.c_rel,
+                    min(names.values(), default=1),
+                    f"mirrored {what} {name!r} declared in cboundary_manifest "
+                    f"is missing from C table {table} — the compiled "
+                    f"{c_type} no longer matches {py_class}",
+                )
+        for name in sorted(set(names) - set(expected)):
+            self.add(
+                "SFS010",
+                self.c_rel,
+                names[name],
+                f"C table {table} exposes undeclared {what} {name!r}; "
+                "declare the mirror in cboundary_manifest so conformance "
+                "stays checked",
+            )
+
+    def check_type_mirrors(self) -> None:
+        for tm in manifest.TYPE_MIRRORS:
+            self.check_table(
+                tm.methods_table, tm.methods, "method", tm.c_type, tm.py_class
+            )
+            self.check_table(
+                tm.getset_table, tm.getsets, "getset", tm.c_type, tm.py_class
+            )
+            self.check_table(
+                tm.members_table, tm.members, "member", tm.c_type, tm.py_class
+            )
+            tree = self.tree(tm.py_file)
+            if tree is None:
+                continue
+            cls = _class_def(tree, tm.py_class)
+            if cls is None:
+                self.add(
+                    "SFS010",
+                    tm.py_file,
+                    1,
+                    f"class {tm.py_class!r} mirrored by C type {tm.c_type} "
+                    "was not found; update cboundary_manifest or restore it",
+                )
+                continue
+            surface = _class_surface(cls)
+            for name in tm.methods + tm.getsets + tm.members:
+                if name not in surface:
+                    self.add(
+                        "SFS010",
+                        tm.py_file,
+                        cls.lineno,
+                        f"{tm.py_class} no longer provides {name!r}, which "
+                        f"the compiled {tm.c_type} mirrors — pure and "
+                        "compiled surfaces have drifted",
+                    )
+
+    def check_module_functions(self) -> None:
+        entries = csrc.table_entries(self.tokens, manifest.MODULE_FUNCTIONS_TABLE)
+        if entries is None:
+            self.add(
+                "SFS010",
+                self.c_rel,
+                1,
+                f"C table {manifest.MODULE_FUNCTIONS_TABLE!r} (module "
+                "function surface) was not found",
+            )
+            return
+        names = {t.text: t.line for t in entries}
+        for name in manifest.MODULE_FUNCTIONS:
+            if name not in names:
+                self.add(
+                    "SFS010",
+                    self.c_rel,
+                    min(names.values(), default=1),
+                    f"mirrored module function {name!r} declared in "
+                    "cboundary_manifest is missing from C table "
+                    f"{manifest.MODULE_FUNCTIONS_TABLE}",
+                )
+        for name in sorted(set(names) - set(manifest.MODULE_FUNCTIONS)):
+            self.add(
+                "SFS010",
+                self.c_rel,
+                names[name],
+                f"C exports undeclared module function {name!r}; declare "
+                "the mirror in cboundary_manifest",
+            )
+
+    # ------------------------------------------------------------------
+    # SFS011: mirror drift
+    # ------------------------------------------------------------------
+
+    def check_interned(self) -> None:
+        declared = {s.interned for s in manifest.SLOT_MIRRORS} | {
+            d.interned for d in manifest.DICT_KEY_MIRRORS
+        }
+        actual = {t.text: t.line for t in csrc.interned_strings(self.tokens)}
+        for name in sorted(set(actual) - declared):
+            self.add(
+                "SFS011",
+                self.c_rel,
+                actual[name],
+                f"C interns attribute/key name {name!r} that is not declared "
+                "in cboundary_manifest — an undeclared (or stale) "
+                "slot-offset read",
+            )
+        for name in sorted(declared - set(actual)):
+            self.add(
+                "SFS011",
+                self.c_rel,
+                1,
+                f"cboundary_manifest declares interned name {name!r} but "
+                "_engine.c no longer interns it; update the manifest with "
+                "the rename",
+            )
+
+    def check_slot_mirrors(self) -> None:
+        for sm in manifest.SLOT_MIRRORS:
+            tree = self.tree(sm.py_file)
+            if tree is None:
+                continue
+            cls = _class_def(tree, sm.py_class)
+            if cls is None:
+                self.add(
+                    "SFS011",
+                    sm.py_file,
+                    1,
+                    f"class {sm.py_class!r} (slot-offset target of interned "
+                    f"{sm.interned!r}) was not found",
+                )
+                continue
+            if sm.interned not in _class_surface(cls):
+                self.add(
+                    "SFS011",
+                    sm.py_file,
+                    cls.lineno,
+                    f"C reads attribute {sm.interned!r} of {sm.py_class} via "
+                    "a cached slot offset, but the class no longer has it — "
+                    "a stale slot offset (renamed or removed attribute)",
+                )
+
+    def check_dict_keys(self) -> None:
+        for dk in manifest.DICT_KEY_MIRRORS:
+            tree = self.tree(dk.py_file)
+            if tree is None:
+                continue
+            if dk.interned not in _subscript_keys(tree, dk.receiver):
+                self.add(
+                    "SFS011",
+                    dk.py_file,
+                    1,
+                    f"C reads/writes {dk.receiver}[{dk.interned!r}] but "
+                    f"{dk.py_file} never subscripts that key on "
+                    f"{dk.receiver!r}; the shared per-task dict keys have "
+                    "drifted",
+                )
+
+    def check_exprs(self) -> None:
+        for em in manifest.ALPHA_EXPRS:
+            body = csrc.function_body(self.tokens, em.c_function)
+            if body is None:
+                self.add(
+                    "SFS011",
+                    self.c_rel,
+                    1,
+                    f"C function {em.c_function!r} (holder of the mirrored "
+                    f"{em.c_var} expression) was not found",
+                )
+                continue
+            rhs = csrc.assignment_expr(body, em.c_var)
+            if rhs is None:
+                self.add(
+                    "SFS011",
+                    self.c_rel,
+                    body[0].line,
+                    f"no `{em.c_var} = ...;` assignment in {em.c_function}; "
+                    "the mirrored expression is gone",
+                )
+                continue
+            c_text = csrc.expr_text(rhs)
+            py_text = self._py_expr_text(em)
+            if py_text is None:
+                continue  # the py-side violation was already recorded
+            if c_text != py_text:
+                self.add(
+                    "SFS011",
+                    self.c_rel,
+                    rhs[0].line,
+                    f"C computes {em.c_var} = {c_text} but "
+                    f"{em.py_class}.{em.py_method} computes {py_text} under "
+                    "the declared variable map; expression shape and "
+                    "operand order must match bit for bit",
+                )
+
+    def _py_expr_text(self, em: manifest.ExprMirror) -> str | None:
+        tree = self.tree(em.py_file)
+        if tree is None:
+            return None
+        cls = _class_def(tree, em.py_class)
+        method = None
+        if cls is not None:
+            for item in cls.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == em.py_method
+                ):
+                    method = item
+                    break
+        if method is None:
+            self.add(
+                "SFS011",
+                em.py_file,
+                1,
+                f"{em.py_class}.{em.py_method} (python reference of the C "
+                f"{em.c_var} expression) was not found",
+            )
+            return None
+        ret = None
+        for sub in ast.walk(method):
+            if isinstance(sub, ast.Return) and sub.value is not None:
+                ret = sub.value
+                break
+        if ret is None:
+            self.add(
+                "SFS011",
+                em.py_file,
+                method.lineno,
+                f"{em.py_class}.{em.py_method} has no return expression to "
+                "mirror",
+            )
+            return None
+        name_map = {py: c for c, py in em.var_map}
+        rendered = _render_py_expr(ret, name_map)
+        if rendered is None:
+            self.add(
+                "SFS011",
+                em.py_file,
+                ret.lineno,
+                f"{em.py_class}.{em.py_method}'s return expression is not "
+                "plain arithmetic; the conformance checker cannot compare "
+                "it to the C mirror",
+            )
+        return rendered
+
+    def check_env_flags(self) -> None:
+        declared = set(manifest.ENV_FLAGS)
+        seen: set[str] = set()
+        for rel in manifest.ENV_FLAG_FILES:
+            tree = self.tree(rel)
+            if tree is not None:
+                seen |= _py_skeletons(tree)
+        for flag in manifest.ENV_FLAGS:
+            if flag not in seen:
+                self.add(
+                    "SFS011",
+                    manifest.ENV_FLAG_FILES[0],
+                    1,
+                    f"declared env flag {flag!r} no longer appears in the "
+                    "python reference files; update cboundary_manifest or "
+                    "restore the flag",
+                )
+        for rel in manifest.ENV_SCAN_FILES:
+            tree = self.tree(rel)
+            if tree is None:
+                continue
+            for name in sorted(_env_reads(tree)):
+                if name.startswith("SFS_") and name not in declared:
+                    self.add(
+                        "SFS011",
+                        rel,
+                        1,
+                        f"env flag {name!r} is read here but not declared in "
+                        "cboundary_manifest.ENV_FLAGS; the compiled engine "
+                        "will not honour it",
+                    )
+
+    def check_exceptions(self) -> None:
+        c_skels = {
+            _c_skeleton(t.text): t.line
+            for t in csrc.string_literals(self.tokens)
+        }
+        for ex in manifest.EXCEPTION_MIRRORS:
+            if ex.skeleton not in c_skels:
+                self.add(
+                    "SFS011",
+                    self.c_rel,
+                    1,
+                    f"C no longer raises the mirrored message "
+                    f"{ex.skeleton!r}; pure and compiled error surfaces "
+                    "have drifted",
+                )
+            tree = self.tree(ex.py_file)
+            if tree is not None and ex.skeleton not in _py_skeletons(tree):
+                self.add(
+                    "SFS011",
+                    ex.py_file,
+                    1,
+                    f"python engine no longer raises the mirrored message "
+                    f"{ex.skeleton!r}; pure and compiled error surfaces "
+                    "have drifted",
+                )
+
+    def run(self) -> list[Violation]:
+        try:
+            source = self.c_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            self.add(
+                "SFS010",
+                self.c_rel,
+                1,
+                f"compiled source {self.c_rel} is unreadable "
+                f"({exc.__class__.__name__}); cboundary_manifest.C_SOURCE "
+                "points at it",
+            )
+            return self.out
+        self.tokens = csrc.tokenize(source)
+        self.check_type_mirrors()
+        self.check_module_functions()
+        self.check_interned()
+        self.check_slot_mirrors()
+        self.check_dict_keys()
+        self.check_exprs()
+        self.check_env_flags()
+        self.check_exceptions()
+        return sorted(
+            set(self.out), key=lambda v: (v.path, v.line, v.col, v.rule, v.message)
+        )
+
+
+def check_cboundary(
+    root: str | Path, c_path: str | Path | None = None
+) -> list[Violation]:
+    """Run the full conformance check; returns sorted violations.
+
+    ``root`` is the repo root (the directory holding ``src/``).
+    ``c_path`` overrides the C source location — the fault-injection
+    tests point it at mutated copies of ``_engine.c``.
+    """
+    return _Checker(Path(root), None if c_path is None else Path(c_path)).run()

@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (SFS001-SFS007).
+"""The repo-specific lint rules (SFS001-SFS011).
 
 Each rule encodes one determinism or soundness convention the
 reproduction depends on:
@@ -19,10 +19,19 @@ reproduction depends on:
   (SFS006);
 - the example scenario configs are executable documentation, so one
   that stops schema-validating is a broken promise the moment someone
-  copies it (SFS007).
+  copies it (SFS007);
+- nondeterminism and hash order can also reach simulation code
+  *transitively* through harness layers, which the interprocedural
+  project analyzer catches (SFS008, SFS009; :mod:`.project`);
+- the optional C engine must stay a faithful mirror of its pure-Python
+  reference, pinned statically by the compiled-boundary conformance
+  checker (SFS010, SFS011; :mod:`.cboundary`).
 
 Rules are registered via :func:`repro.analysis.staticcheck.rules.rule`
-and run by :mod:`repro.analysis.staticcheck.engine`.
+and run by :mod:`repro.analysis.staticcheck.engine`. SFS008-SFS011 are
+produced by their dedicated analyzers (enabled with ``lint --project``
+/ ``lint --cboundary``); the classes here carry their ids, titles and
+docs, and their per-file hooks are no-ops.
 """
 
 from __future__ import annotations
@@ -46,6 +55,10 @@ __all__ = [
     "FloatTagEqualityRule",
     "PickleSafetyRule",
     "ScenarioConfigRule",
+    "TransitiveNondeterminismRule",
+    "UnorderedEscapeRule",
+    "MirrorSurfaceRule",
+    "MirrorDriftRule",
 ]
 
 
@@ -640,6 +653,76 @@ class ScenarioConfigRule(LintRule):
                 col=0,
                 message=f"config fails to load: {exc}",
             )
+
+
+# ----------------------------------------------------------------------
+# SFS008-SFS011: analyzer-produced rules (project / compiled boundary)
+# ----------------------------------------------------------------------
+
+
+@rule("SFS008", scopes=SIM_SCOPES)
+class TransitiveNondeterminismRule(LintRule):
+    """Nondeterminism must not reach simulation code through call chains.
+
+    SFS001/SFS002 see only direct draws and clock reads; this rule's
+    findings come from the interprocedural project analyzer
+    (:mod:`repro.analysis.staticcheck.project`), which propagates
+    RNG/wall-clock summaries over the whole-src call graph and flags
+    every sim-scope call site whose out-of-scope callee transitively
+    reaches one, with the full call chain in the message. Produced
+    under ``lint --project``; sanctioned harness boundaries carry an
+    inline ``# sfs-lint: disable=SFS008`` waiver at the call site.
+    """
+
+    def check(self, tree: ast.AST, source: str, path: str) -> Iterator[Violation]:
+        return iter(())
+
+
+@rule("SFS009", scopes=SIM_SCOPES)
+class UnorderedEscapeRule(LintRule):
+    """Unordered iteration order must not escape into simulation code.
+
+    The transitive companion of SFS003: a sim-scope function that
+    iterates the result of an out-of-scope call whose return value is
+    (transitively) a set observes hash order — invisible per-file
+    because the set literal lives in the callee. Produced by the
+    project analyzer under ``lint --project``; fix by sorting at the
+    source or wrapping the call in ``sorted(...)``.
+    """
+
+    def check(self, tree: ast.AST, source: str, path: str) -> Iterator[Violation]:
+        return iter(())
+
+
+@rule("SFS010")
+class MirrorSurfaceRule(LintRule):
+    """The compiled engine's mirror surface must match its manifest.
+
+    Every method/getset/member the C extension exposes is declared in
+    :mod:`repro.analysis.staticcheck.cboundary_manifest`; a dropped,
+    missing or undeclared mirror is a blocking error, and the Python
+    twin class must still provide every mirrored name. Produced by the
+    compiled-boundary conformance checker under ``lint --cboundary``.
+    """
+
+    def check(self, tree: ast.AST, source: str, path: str) -> Iterator[Violation]:
+        return iter(())
+
+
+@rule("SFS011")
+class MirrorDriftRule(LintRule):
+    """Compiled/pure mirror internals must not drift.
+
+    Cross-checks the C extension's interned attribute and dict-key
+    names against the actual ``__slots__``/dict-key layout of the
+    Python reference, the ``alpha = phi * (S - v)`` expression shape
+    against ``FloatTags.surplus`` (operand order included), env-flag
+    declarations, and exception-message parity. Produced by the
+    compiled-boundary conformance checker under ``lint --cboundary``.
+    """
+
+    def check(self, tree: ast.AST, source: str, path: str) -> Iterator[Violation]:
+        return iter(())
 
 
 def _nested_function_names(tree: ast.AST) -> frozenset[str]:

@@ -994,7 +994,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint",
         add_help=False,
         help="run the repo-specific determinism/soundness linter "
-        "(rules SFS001-SFS007; see `lint --list-rules`)",
+        "(rules SFS001-SFS011; see `lint --list-rules`, `lint --project` "
+        "for the interprocedural rules, `lint --cboundary` for the "
+        "compiled-boundary conformance checker)",
     )
     return parser
 

@@ -39,7 +39,9 @@ class BorrowedVirtualTimeScheduler(TaggedScheduler):
         tag_math: TagArithmetic | None = None,
         wake_preempt: bool = True,
     ) -> None:
-        super().__init__(readjust=readjust, tag_math=tag_math, wake_preempt=wake_preempt)
+        super().__init__(
+            readjust=readjust, tag_math=tag_math, wake_preempt=wake_preempt
+        )
         if readjust:
             self.name = "BVT+readjust"
         self._warps: dict[int, float] = {}

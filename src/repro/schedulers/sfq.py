@@ -51,7 +51,9 @@ class StartTimeFairScheduler(TaggedScheduler):
         tag_math: TagArithmetic | None = None,
         wake_preempt: bool = True,
     ) -> None:
-        super().__init__(readjust=readjust, tag_math=tag_math, wake_preempt=wake_preempt)
+        super().__init__(
+            readjust=readjust, tag_math=tag_math, wake_preempt=wake_preempt
+        )
         if readjust:
             self.name = "SFQ+readjust"
 

@@ -41,7 +41,9 @@ class WeightedFairQueueingScheduler(TaggedScheduler):
         wake_preempt: bool = True,
         nominal_quantum: float | None = None,
     ) -> None:
-        super().__init__(readjust=readjust, tag_math=tag_math, wake_preempt=wake_preempt)
+        super().__init__(
+            readjust=readjust, tag_math=tag_math, wake_preempt=wake_preempt
+        )
         if readjust:
             self.name = "WFQ+readjust"
         #: quantum length assumed when projecting finish tags; defaults

@@ -1,0 +1,166 @@
+"""Unit tests for the project call-graph builder (:mod:`.callgraph`).
+
+A synthetic ``repro`` package exercises module naming, import-alias
+resolution, method lookup through bases, nested-function merging,
+direct effect detection (seeded vs unseeded), return-position call
+tracking, and iteration-sink detection — the raw facts the
+interprocedural rules SFS008/SFS009 are built on.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.staticcheck.callgraph import build_callgraph
+from repro.analysis.staticcheck.project import effect_closure, unordered_closure
+
+
+@pytest.fixture()
+def graph(tmp_path):
+    """A small synthetic repro package with known facts."""
+    pkg = tmp_path / "src" / "repro"
+    for sub in ("core", "exec", "util"):
+        (pkg / sub).mkdir(parents=True)
+        (pkg / sub / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "util" / "clock.py").write_text(
+        textwrap.dedent(
+            """
+            import time
+            import random
+
+
+            def now():
+                return time.time()
+
+
+            def seeded_draw():
+                rng = random.Random(7)
+                return rng.random()
+
+
+            def tags():
+                return {"a", "b"}
+
+
+            def tags_indirect():
+                return tags()
+
+
+            def tags_materialized():
+                out = tags()
+                return sorted(out)
+            """
+        )
+    )
+    (pkg / "exec" / "backend.py").write_text(
+        textwrap.dedent(
+            """
+            from repro.util import clock
+
+
+            def submit():
+                return clock.now()
+            """
+        )
+    )
+    (pkg / "core" / "sched.py").write_text(
+        textwrap.dedent(
+            """
+            import random
+
+            from repro.exec import backend
+            from repro.util.clock import tags_indirect
+
+
+            class Base:
+                def shared(self):
+                    return 1
+
+
+            class Sched(Base):
+                def __init__(self):
+                    self.count = 0
+
+                def tick(self):
+                    return backend.submit()
+
+                def chain(self):
+                    return self.shared()
+
+                def outer(self):
+                    def inner():
+                        return random.random()
+
+                    return inner()
+
+                def spread(self):
+                    for item in tags_indirect():
+                        self.count += item
+                    return self.count
+            """
+        )
+    )
+    return build_callgraph(tmp_path / "src")
+
+
+def test_module_and_function_discovery(graph):
+    assert "repro.util.clock" in graph.modules
+    assert "repro.core.sched" in graph.modules
+    assert "repro.util.clock.now" in graph.functions
+    assert "repro.core.sched.Sched.tick" in graph.functions
+
+
+def test_paths_are_src_relative(graph):
+    fn = graph.functions["repro.util.clock.now"]
+    assert fn.path == "src/repro/util/clock.py"
+
+
+def test_direct_effects(graph):
+    now = graph.functions["repro.util.clock.now"]
+    assert [e.kind for e in now.effects] == ["clock"]
+    assert "time.time" in now.effects[0].detail
+
+
+def test_seeded_rng_is_not_an_effect(graph):
+    seeded = graph.functions["repro.util.clock.seeded_draw"]
+    assert seeded.effects == []
+
+
+def test_call_resolution_through_import_alias(graph):
+    submit = graph.functions["repro.exec.backend.submit"]
+    targets = {c.target for c in submit.calls}
+    assert "repro.util.clock.now" in targets
+
+
+def test_method_call_resolves_through_base_class(graph):
+    chain = graph.functions["repro.core.sched.Sched.chain"]
+    targets = {c.target for c in chain.calls}
+    assert "repro.core.sched.Base.shared" in targets
+
+
+def test_nested_function_effects_merge_into_enclosing(graph):
+    outer = graph.functions["repro.core.sched.Sched.outer"]
+    assert "repro.core.sched.Sched.outer.inner" not in graph.functions
+    assert {e.kind for e in outer.effects} == {"rng"}
+
+
+def test_returns_set_and_return_position_propagation(graph):
+    assert graph.functions["repro.util.clock.tags"].returns_set
+    assert not graph.functions["repro.util.clock.tags_indirect"].returns_set
+    unordered = unordered_closure(graph)
+    assert unordered["repro.util.clock.tags_indirect"]
+    assert not unordered["repro.util.clock.tags_materialized"]
+
+
+def test_iteration_sink_is_recorded(graph):
+    spread = graph.functions["repro.core.sched.Sched.spread"]
+    sinks = {c.target: c.sink for c in spread.calls}
+    assert sinks.get("repro.util.clock.tags_indirect") is not None
+
+
+def test_effect_closure_propagates_transitively(graph):
+    closures = effect_closure(graph)
+    assert "clock" in closures["repro.core.sched.Sched.tick"]
+    assert "clock" in closures["repro.exec.backend.submit"]
+    assert closures["repro.util.clock.seeded_draw"] == frozenset()

@@ -1,0 +1,202 @@
+"""Tests for the compiled-boundary conformance checker (SFS010/SFS011).
+
+The C tokenizer gets unit coverage, the real repo must check clean,
+and fault injection mutates a *copy* of ``_engine.c`` — counter
+rename, alpha operand swap, dropped mirrored method, stale slot
+offset, undeclared extra method — asserting each drift is flagged as
+a blocking finding with the right rule id.
+"""
+
+from pathlib import Path
+
+from repro.analysis.staticcheck import csrc
+from repro.analysis.staticcheck.cboundary import check_cboundary
+from repro.analysis.staticcheck.cboundary_manifest import C_SOURCE
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+ENGINE_C = REPO_ROOT / C_SOURCE
+
+
+# ----------------------------------------------------------------------
+# csrc: the minimal C tokenizer
+# ----------------------------------------------------------------------
+
+
+def test_tokenize_strips_comments_and_preprocessor():
+    tokens = csrc.tokenize(
+        """
+#include <stdio.h>
+// line comment with "a string"
+int x = 1; /* block
+   comment */ int y = 2;
+"""
+    )
+    texts = [t.text for t in tokens]
+    assert texts == ["int", "x", "=", "1", ";", "int", "y", "=", "2", ";"]
+
+
+def test_tokenize_string_and_char_literals():
+    tokens = csrc.tokenize('char c = \'x\'; const char *s = "a\\nb";')
+    kinds = {t.text: t.kind for t in tokens if t.kind in ("str", "char")}
+    assert kinds == {"x": "char", "a\nb": "str"}
+
+
+def test_merge_adjacent_strings():
+    tokens = csrc.merge_adjacent_strings(csrc.tokenize('f("one " "two", ";");'))
+    assert [t.text for t in tokens if t.kind == "str"] == ["one two", ";"]
+
+
+def test_table_entries_reads_first_string_of_each_entry():
+    tokens = csrc.tokenize(
+        """
+static PyMethodDef Demo_methods[] = {
+    {"alpha", (PyCFunction)f, METH_NOARGS, "doc"},
+    {"beta", (PyCFunction)g, METH_VARARGS, "doc"},
+    {NULL, NULL, 0, NULL},
+};
+"""
+    )
+    entries = csrc.table_entries(tokens, "Demo_methods")
+    assert [t.text for t in entries] == ["alpha", "beta"]
+    assert csrc.table_entries(tokens, "Missing_table") is None
+
+
+def test_interned_strings_and_assignment_expr():
+    tokens = csrc.tokenize(
+        """
+static int setup(void) {
+    str_phi = PyUnicode_InternFromString("phi");
+    str_S = PyUnicode_InternFromString("S");
+    return 0;
+}
+static double f(double phi, double S, double v) {
+    double alpha = phi * (S - v);
+    return alpha;
+}
+"""
+    )
+    assert [t.text for t in csrc.interned_strings(tokens)] == ["phi", "S"]
+    body = csrc.function_body(tokens, "f")
+    assert body is not None
+    expr = csrc.assignment_expr(body, "alpha")
+    assert csrc.expr_text(expr) == "phi*(S-v)"
+
+
+def test_function_body_skips_declarations_and_calls():
+    tokens = csrc.tokenize(
+        """
+static double f(double x);
+int main(void) { return f(1.0); }
+static double f(double x) { return x + 1; }
+"""
+    )
+    body = csrc.function_body(tokens, "f")
+    assert csrc.expr_text(body) == "returnx+1;"
+
+
+# ----------------------------------------------------------------------
+# the real repo conforms
+# ----------------------------------------------------------------------
+
+
+def test_real_engine_c_conforms_to_manifest():
+    assert ENGINE_C.is_file(), "compiled engine source moved; update manifest"
+    assert check_cboundary(REPO_ROOT) == []
+
+
+# ----------------------------------------------------------------------
+# fault injection on a mutated copy of _engine.c
+# ----------------------------------------------------------------------
+
+
+def _mutated(tmp_path, transform):
+    source = ENGINE_C.read_text(encoding="utf-8")
+    mutated = transform(source)
+    assert mutated != source, "mutation did not apply; anchors moved"
+    c_copy = tmp_path / "_engine_mut.c"
+    c_copy.write_text(mutated, encoding="utf-8")
+    return check_cboundary(REPO_ROOT, c_path=c_copy)
+
+
+def test_counter_rename_is_flagged(tmp_path):
+    found = _mutated(
+        tmp_path, lambda s: s.replace('"comparisons"', '"comparison_count"')
+    )
+    assert {v.rule for v in found} == {"SFS011"}
+    messages = " | ".join(v.message for v in found)
+    assert "comparisons" in messages
+    assert "comparison_count" in messages
+
+
+def test_alpha_operand_swap_is_flagged(tmp_path):
+    found = _mutated(
+        tmp_path, lambda s: s.replace("phi * (S - v)", "(S - v) * phi")
+    )
+    assert [v.rule for v in found] == ["SFS011"]
+    assert "(S-v)*phi" in found[0].message
+    assert "FloatTags.surplus" in found[0].message
+
+
+def test_dropped_mirrored_method_is_flagged(tmp_path):
+    def drop_run_until(source):
+        lines = [
+            line
+            for line in source.splitlines(keepends=True)
+            if '{"run_until"' not in line
+        ]
+        return "".join(lines)
+
+    found = _mutated(tmp_path, drop_run_until)
+    assert [v.rule for v in found] == ["SFS010"]
+    assert "run_until" in found[0].message
+    assert "Engine_methods" in found[0].message
+
+
+def test_stale_slot_offset_is_flagged(tmp_path):
+    found = _mutated(
+        tmp_path, lambda s: s.replace('"_cached_key"', '"_cached"')
+    )
+    assert {v.rule for v in found} == {"SFS011"}
+    assert any("_cached_key" in v.message for v in found)
+
+
+def test_undeclared_extra_method_is_flagged(tmp_path):
+    extra = (
+        '    {"warp", (PyCFunction)Engine_run, METH_VARARGS, "undeclared"},\n'
+    )
+    found = _mutated(
+        tmp_path,
+        lambda s: s.replace(
+            'static PyMethodDef Engine_methods[] = {\n',
+            "static PyMethodDef Engine_methods[] = {\n" + extra,
+        ),
+    )
+    assert [v.rule for v in found] == ["SFS010"]
+    assert "warp" in found[0].message
+    assert "undeclared" in found[0].message
+
+
+def test_exception_message_drift_is_flagged(tmp_path):
+    found = _mutated(
+        tmp_path,
+        lambda s: s.replace(
+            '"cannot schedule event in the past: "',
+            '"cannot schedule an event in the past: "',
+        ),
+    )
+    assert {v.rule for v in found} == {"SFS011"}
+    assert any("cannot schedule" in v.message for v in found)
+
+
+def test_missing_c_source_is_blocking(tmp_path):
+    found = check_cboundary(REPO_ROOT, c_path=tmp_path / "nope.c")
+    assert found and all(v.rule == "SFS010" for v in found)
+
+
+def test_violations_are_sorted_and_deduped(tmp_path):
+    found = _mutated(
+        tmp_path, lambda s: s.replace('"comparisons"', '"comparison_count"')
+    )
+    keys = [(v.path, v.line, v.col, v.rule, v.message) for v in found]
+    assert keys == sorted(keys)
+    assert len(keys) == len(set(keys))
