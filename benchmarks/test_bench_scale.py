@@ -23,7 +23,14 @@ import time
 
 import pytest
 
-from repro.scenario import class_shares, run_cells, run_scenario, server_scenario
+from repro.flows import FLOW_RESOURCE_PROFILES, flow_scenario
+from repro.scenario import (
+    METRICS,
+    class_shares,
+    run_cells,
+    run_scenario,
+    server_scenario,
+)
 from repro.sim.engine import build_info
 
 #: the family's scaling ladder; 5000 is the acceptance-criteria point
@@ -115,6 +122,61 @@ def test_server_scale_events_per_sec(benchmark, n, label):
     assert 0 < total <= result.capacity() + 1e-6
     shares = class_shares(result)
     assert all(s >= 0 for s in shares.values())
+
+
+#: flow-domain rows: same trend gate, packet workload. The overload
+#: cell keeps every flow backlogged (the fair-queueing analog of the
+#: server overload rows); the multi-resource cell adds the DRF metric
+#: arithmetic to the timed region, so the post-run accounting layer
+#: can't quietly go quadratic in the flow count.
+FLOW_N = 200
+FLOW_CONFIGS = [
+    ("flows-overload", 1.4, None),
+    ("flows-multi-resource", 0.9, FLOW_RESOURCE_PROFILES),
+]
+
+
+def run_flows(load, resource_profiles, rounds=ROUNDS):
+    scenario = flow_scenario(
+        n_flows=FLOW_N,
+        packets_per_flow=150,
+        scheduler="sfs",
+        load=load,
+        resource_profiles=resource_profiles,
+        service_sample_interval=0.5,
+    )
+    wall = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = run_scenario(scenario)
+        if resource_profiles is not None:
+            METRICS["dominant_shares"](result)
+            METRICS["resource_jains"](result)
+        elapsed = time.perf_counter() - t0
+        wall = elapsed if wall is None else min(wall, elapsed)
+    return scenario, result, wall
+
+
+@pytest.mark.parametrize("label", [label for label, _, _ in FLOW_CONFIGS])
+def test_flow_scale_events_per_sec(benchmark, label):
+    _, load, profiles = next(row for row in FLOW_CONFIGS if row[0] == label)
+
+    def once():
+        return run_flows(load, profiles)
+
+    scenario, result, wall = benchmark.pedantic(once, rounds=1, iterations=1)
+    events = result.machine.engine.events_fired
+    benchmark.extra_info["scheduler"] = label
+    benchmark.extra_info["n_tasks"] = FLOW_N
+    benchmark.extra_info["engine_build"] = build_info()["engine"]
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["events_per_sec"] = round(events / wall)
+
+    # Sanity, not speed: real packets moved and capacity held.
+    assert events > FLOW_N
+    sent = sum(t.behavior.bytes_sent for t in result.tasks.values())
+    capacity = 1.25e6 * scenario.cpus * result.duration
+    assert 0 < sent <= capacity * (1 + 1e-9)
 
 
 def test_server_grid_per_cell_walls(tmp_path):

@@ -59,11 +59,13 @@ from repro.experiments import (
     fig6b_isolation,
     fig6c_interactive,
     fig7_ctxswitch,
+    flows_study,
     saturation,
     sensitivity,
     table1_lmbench,
 )
 from repro.scenario import (
+    FAMILIES,
     SERVER_WEIGHT_CLASSES,
     Scenario,
     Sweep,
@@ -108,6 +110,7 @@ _VARIANTS: dict[str, tuple[tuple[str, Callable[[], Any], Callable[[Any], str]], 
     "fig7": (("", fig7_ctxswitch.run, fig7_ctxswitch.render),),
     "sensitivity": (("", sensitivity.run, sensitivity.render),),
     "saturation": (("", saturation.run, saturation.render),),
+    "flows": (("", flows_study.run, flows_study.render),),
 }
 
 _DESCRIPTIONS = {
@@ -123,11 +126,13 @@ _DESCRIPTIONS = {
     "sensitivity": "Fig. 5 sensitivity: T_short share vs timer jitter",
     "saturation": "saturation study: events/sec + sojourn percentiles "
     "vs load, heuristic accuracy vs k (server family)",
+    "flows": "flows study: packet fair queueing on a link, SFS vs WFQ "
+    "vs SFQ + multi-resource fairness (flow family)",
 }
 
 
 #: experiments whose run() accepts workers/backend/checkpoint kwargs
-_EXEC_AWARE = frozenset({"saturation", "sensitivity"})
+_EXEC_AWARE = frozenset({"saturation", "sensitivity", "flows"})
 
 
 def _run_experiment(
@@ -802,34 +807,79 @@ def _build_config_parser(command: str) -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list(args: argparse.Namespace) -> int:
+def _registry_sections() -> list[tuple[str, list[tuple[str, str]]]]:
+    """Every user-nameable registry as (heading, [(name, summary)]).
+
+    One consolidated, registry-driven walk: a scheduler, scenario
+    family, metric, arrival/demand kind, cost model or audit check
+    registered anywhere in the package shows up in ``list`` with no
+    CLI change. Summaries come from the registries themselves (family
+    descriptions, metric/check docstring first lines).
+    """
+    from repro.analysis.audit.checks import CHECKS
+    from repro.scenario.arrivals import ARRIVALS
+    from repro.scenario.demands import DEMANDS
     from repro.scenario.result import METRICS
 
+    def doc_line(obj: Any) -> str:
+        doc = (getattr(obj, "__doc__", "") or "").strip()
+        return doc.splitlines()[0] if doc else ""
+
+    return [
+        (
+            "experiments (`run <id>`):",
+            [(n, _DESCRIPTIONS.get(n, "")) for n in sorted(EXPERIMENTS)],
+        ),
+        (
+            "schedulers (registry names usable with `sweep --scheduler`):",
+            [(n, "") for n in scheduler_names()],
+        ),
+        (
+            "scenario families (builders behind `server`/`flows`):",
+            [
+                (n, FAMILIES[n][1])
+                for n in sorted(FAMILIES)
+            ],
+        ),
+        (
+            "metrics (Sweep.metrics / Scenario.metrics names):",
+            [(n, doc_line(METRICS[n])) for n in sorted(METRICS)],
+        ),
+        (
+            "arrival processes (`arrival.kind` in config files):",
+            [(n, doc_line(ARRIVALS[n])) for n in arrival_names()],
+        ),
+        (
+            "demand distributions (`demand.kind`/`size.kind` in configs):",
+            [(n, doc_line(DEMANDS[n])) for n in demand_names()],
+        ),
+        (
+            "cost models (`cost_model` in configs, `server --cost-model`):",
+            [(n, "") for n in sorted(COST_MODELS)],
+        ),
+        (
+            "audit checks (run under `--audit`; `audit_params.checks`):",
+            [(n, CHECKS[n].title) for n in sorted(CHECKS)],
+        ),
+    ]
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
     if getattr(args, "build_info", False):
         from repro.sim.engine import build_info
 
         for key, value in build_info().items():
             print(f"{key}: {value}")
         return 0
-    print("experiments:")
-    for name in sorted(EXPERIMENTS):
-        print(f"  {name:12s} {_DESCRIPTIONS.get(name, '')}")
-    print()
-    print("schedulers (registry names usable with `sweep --scheduler`):")
-    for name in scheduler_names():
-        print(f"  {name}")
-    print()
-    print("sweep metrics (Sweep.metrics / Scenario.metrics names):")
-    for name in sorted(METRICS):
-        print(f"  {name}")
-    print()
-    print("arrival processes (`streams[].arrival.kind` in config files):")
-    for name in arrival_names():
-        print(f"  {name}")
-    print()
-    print("demand distributions (`streams[].demand.kind` in config files):")
-    for name in demand_names():
-        print(f"  {name}")
+    sections = _registry_sections()
+    for i, (heading, rows) in enumerate(sections):
+        if i:
+            print()
+        print(heading)
+        width = max(len(name) for name, _ in rows)
+        for name, summary in rows:
+            line = f"  {name:{width}s}  {summary}" if summary else f"  {name}"
+            print(line.rstrip())
     return 0
 
 

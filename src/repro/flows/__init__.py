@@ -1,0 +1,58 @@
+"""Packet/flow fair-queueing domain over the scenario pipeline.
+
+A whole workload domain with zero scheduler changes: flows contend for
+a shared link exactly the way tasks contend for CPUs. The pieces —
+
+- :mod:`repro.flows.spec` — :class:`LinkSpec` / :class:`FlowSpec`
+  declarations and the materialized :class:`PacketFlow` behaviour spec;
+- :mod:`repro.flows.transmit` — the :class:`FlowTransmitter` behaviour
+  mapping packets onto variable-cost Run segments;
+- :mod:`repro.flows.scenario` — :func:`flow_scenario`, the seeded
+  preset family mirroring ``server_scenario``;
+- :mod:`repro.flows.resources` — the multi-resource ({cpu, memory,
+  bandwidth}) accounting layer and DRF-style fairness metrics;
+- :mod:`repro.flows.metrics` — per-flow throughput and packet-delay
+  percentiles.
+
+Importing this package registers the ``flows`` scenario family; the
+flow metrics are always listed in
+:data:`repro.scenario.result.METRICS` (their extractors import from
+here lazily).
+"""
+
+from repro.flows.metrics import flow_throughput, packet_delay_percentiles
+from repro.flows.resources import (
+    RESOURCES,
+    dominant_shares,
+    resource_jains,
+    resource_service,
+    resource_shares,
+    resource_vectors,
+)
+from repro.flows.scenario import (
+    FLOW_RESOURCE_PROFILES,
+    FLOW_WEIGHT_CLASSES,
+    flow_scenario,
+    materialize_flows,
+)
+from repro.flows.spec import FlowSpec, LinkSpec, PacketFlow
+from repro.flows.transmit import FlowTransmitter
+
+__all__ = [
+    "FLOW_RESOURCE_PROFILES",
+    "FLOW_WEIGHT_CLASSES",
+    "FlowSpec",
+    "FlowTransmitter",
+    "LinkSpec",
+    "PacketFlow",
+    "RESOURCES",
+    "dominant_shares",
+    "flow_scenario",
+    "flow_throughput",
+    "materialize_flows",
+    "packet_delay_percentiles",
+    "resource_jains",
+    "resource_service",
+    "resource_shares",
+    "resource_vectors",
+]

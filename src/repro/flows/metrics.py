@@ -1,0 +1,64 @@
+"""Canned flow metrics: throughput and packet-delay percentiles.
+
+Flat, picklable extractors over a finished
+:class:`~repro.scenario.result.SimulationResult`, registered in
+:data:`repro.scenario.result.METRICS` (as ``flow_throughput`` and
+``packet_delay_p50/p95/p99``) beside the multi-resource metrics of
+:mod:`repro.flows.resources`. Tasks whose behaviour is not a
+:class:`~repro.flows.transmit.FlowTransmitter` are skipped, so the
+metrics are safe to request on mixed populations and come back empty
+on a pure CPU workload.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.scenario.result import percentile
+
+__all__ = ["flow_throughput", "packet_delay_percentiles"]
+
+
+def _transmitters(result: Any) -> list[tuple[str, Any]]:
+    """(name, transmitter) for every flow task, in name order."""
+    out = []
+    for name in sorted(result.tasks):
+        behavior = result.tasks[name].behavior
+        if hasattr(behavior, "bytes_sent") and hasattr(behavior, "delays"):
+            out.append((name, behavior))
+    return out
+
+
+def flow_throughput(result: Any) -> dict[str, float]:
+    """Goodput in bytes/sec per flow over the run window, + ``"all"``.
+
+    Empty when the population has no flows; the ``"all"`` key is the
+    aggregate link goodput.
+    """
+    duration = result.duration
+    out: dict[str, float] = {}
+    total = 0.0
+    for name, transmitter in _transmitters(result):
+        out[name] = transmitter.bytes_sent / duration
+        total += transmitter.bytes_sent
+    if out:
+        out["all"] = total / duration
+    return out
+
+
+def packet_delay_percentiles(result: Any, q: float) -> dict[str, float]:
+    """q-th percentile of per-packet delay, per flow + ``"all"``.
+
+    Delay is enqueue-to-completion (queueing plus transmission). Flows
+    that sent no packet inside the window are omitted; the dict is
+    empty for non-flow populations.
+    """
+    out: dict[str, float] = {}
+    everything: list[float] = []
+    for name, transmitter in _transmitters(result):
+        if transmitter.delays:
+            out[name] = percentile(transmitter.delays, q)
+            everything.extend(transmitter.delays)
+    if everything:
+        out["all"] = percentile(everything, q)
+    return out

@@ -1,0 +1,80 @@
+"""The packet-transmission behaviour driving the simulator.
+
+A :class:`FlowTransmitter` walks a
+:class:`~repro.flows.spec.PacketFlow`'s packet list head-of-line:
+
+- a queued packet becomes one ``Run(size / bytes_per_sec)`` segment —
+  its transmission time on one link channel (a variable-cost quantum,
+  preemptible mid-packet exactly like any CPU burst);
+- an empty queue becomes a ``Block`` until the next packet's enqueue
+  time;
+- the last packet's completion is ``Exit``.
+
+Because consecutive segments whose boundaries fall inside the current
+quantum continue without a scheduler decision, the machine's quantum
+bounds how many back-to-back packets one flow may send before the
+scheduler re-picks — the flow-domain analogue of a scheduling
+granularity, which :func:`~repro.flows.scenario.flow_scenario` defaults
+to one mean packet time.
+
+Per-packet delay (completion minus enqueue — queueing plus
+transmission), bytes and packet counts accumulate on the transmitter,
+where the flow metrics of :mod:`repro.flows.metrics` read them off the
+finished result.
+"""
+
+from __future__ import annotations
+
+from repro.sim.events import Block, Exit, Run, Segment
+from repro.workloads.base import Behavior
+
+__all__ = ["FlowTransmitter"]
+
+#: slack under which "the next packet is already here" (guards float
+#: drift when a Block lands an epsilon short of the enqueue time)
+_EPS = 1e-12
+
+
+class FlowTransmitter(Behavior):
+    """Head-of-line transmitter over one flow's materialized packets."""
+
+    def __init__(self, spec) -> None:
+        self.arrivals: tuple[float, ...] = tuple(spec.arrivals)
+        self.sizes: tuple[float, ...] = tuple(spec.sizes)
+        self.bytes_per_sec: float = spec.bytes_per_sec
+        #: next packet to send (== packets_sent while not mid-packet)
+        self.index = 0
+        self.packets_sent = 0
+        self.bytes_sent = 0.0
+        #: completion - enqueue per sent packet, in send order
+        self.delays: list[float] = []
+        self._sending = False
+
+    def start(self, now: float) -> Segment:
+        return self._advance(now)
+
+    def next_segment(self, now: float) -> Segment:
+        return self._advance(now)
+
+    def _advance(self, now: float) -> Segment:
+        if self._sending:
+            # The Run for packet `index` just completed: book it.
+            i = self.index
+            self.delays.append(now - self.arrivals[i])
+            self.bytes_sent += self.sizes[i]
+            self.packets_sent += 1
+            self.index = i + 1
+            self._sending = False
+        if self.index >= len(self.sizes):
+            return Exit()
+        enqueue = self.arrivals[self.index]
+        if enqueue - now > _EPS:
+            return Block(enqueue - now)
+        self._sending = True
+        return Run(self.sizes[self.index] / self.bytes_per_sec)
+
+    def throughput(self, duration: float) -> float:
+        """Average goodput in bytes/sec over ``duration``."""
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+        return self.bytes_sent / duration

@@ -52,6 +52,11 @@ from repro.scenario.demands import (
     make_demand,
     register_demand,
 )
+from repro.scenario.families import (
+    FAMILIES,
+    family_names,
+    register_family,
+)
 from repro.scenario.io import (
     ConfigError,
     dump_scenario,
@@ -110,6 +115,7 @@ __all__ = [
     "ConfigError",
     "DEMANDS",
     "Disksim",
+    "FAMILIES",
     "Inf",
     "METRICS",
     "SERVER_WEIGHT_CLASSES",
@@ -119,6 +125,7 @@ __all__ = [
     "demand_names",
     "dump_scenario",
     "dumps_scenario",
+    "family_names",
     "generated_tasks",
     "load_config",
     "load_scenario",
@@ -129,6 +136,7 @@ __all__ = [
     "percentile",
     "register_arrival",
     "register_demand",
+    "register_family",
     "scenario_to_dict",
     "server_scenario",
     "InteractiveLoop",

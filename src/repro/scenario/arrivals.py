@@ -92,6 +92,9 @@ def register_arrival(
             options.update(overrides)
             return factory(**options)
 
+        # registry consumers (`sfs-experiment list`) summarize kinds
+        # by docstring first line
+        build.__doc__ = factory.__doc__
         ARRIVALS[name] = build
         return factory
 

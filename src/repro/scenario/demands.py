@@ -17,7 +17,13 @@ bounded-pareto  heavy-tailed Pareto, capped (the server-cell default)
 lognormal       moderately skewed multiplicative service times
 bimodal         two-point interactive/batch mix
 fixed           constant demand (deterministic corner cases)
+constant-mtu    fixed packet size in bytes (flow domain, default 1500)
+packet-trace    replay a recorded packet-size sequence, cycling
 ==============  ======================================================
+
+The registry is unit-agnostic: the server family draws CPU seconds,
+the flow family (:mod:`repro.flows`) draws packet sizes in bytes from
+the same kinds.
 
 Each distribution draws only from the ``rng`` passed to
 :meth:`DemandDistribution.sample`, keeping (distribution, seed) pairs
@@ -27,7 +33,7 @@ bit-for-bit reproducible.
 from __future__ import annotations
 
 import math
-from typing import Callable, Protocol
+from typing import Callable, Protocol, Sequence
 
 from random import Random
 
@@ -42,6 +48,8 @@ __all__ = [
     "LognormalDemand",
     "BimodalDemand",
     "FixedDemand",
+    "ConstantMtu",
+    "PacketTrace",
 ]
 
 
@@ -83,6 +91,9 @@ def register_demand(
             options.update(overrides)
             return factory(**options)
 
+        # registry consumers (`sfs-experiment list`) summarize kinds
+        # by docstring first line
+        build.__doc__ = factory.__doc__
         DEMANDS[name] = build
         return factory
 
@@ -222,3 +233,52 @@ class FixedDemand:
     def sample(self, rng: Random) -> float:
         rng.random()
         return self.value
+
+
+@register_demand("constant-mtu")
+class ConstantMtu:
+    """Every packet is exactly ``mtu`` bytes (Ethernet default 1500).
+
+    The flow-domain twin of ``fixed``: same one-draw parity (one
+    ``rng.random()`` per sample), so swapping a stochastic size
+    distribution for ``constant-mtu`` perturbs downstream draws the
+    way any other one-draw kind would.
+    """
+
+    def __init__(self, mtu: float = 1500.0) -> None:
+        if mtu <= 0:
+            raise ValueError(f"mtu must be > 0, got {mtu}")
+        self.mtu = mtu
+
+    def sample(self, rng: Random) -> float:
+        rng.random()
+        return self.mtu
+
+
+@register_demand("packet-trace")
+class PacketTrace:
+    """Replay a recorded packet-size sequence, cycling when exhausted.
+
+    Deterministic but *stateful* — an internal cursor advances one
+    entry per sample, so instantiate a fresh trace per population
+    (``make_demand`` does) rather than sharing one across runs. Keeps
+    one-draw parity with the stochastic kinds.
+    """
+
+    def __init__(self, sizes: Sequence[float]) -> None:
+        values = tuple(float(s) for s in sizes)
+        if not values:
+            raise ValueError("packet trace needs at least one size")
+        for i, size in enumerate(values):
+            if size <= 0 or not math.isfinite(size):
+                raise ValueError(
+                    f"sizes[{i}] must be finite and > 0, got {size}"
+                )
+        self.sizes = values
+        self._cursor = 0
+
+    def sample(self, rng: Random) -> float:
+        rng.random()
+        value = self.sizes[self._cursor % len(self.sizes)]
+        self._cursor += 1
+        return value

@@ -31,6 +31,15 @@ default, or ``sweep``). A scenario config sets the scalar
         demand: {kind: exponential, mean: 0.05}
         classes: [{name: req, weight: 1.0, share: 1.0}]
         drain_factor: 1.5        # may derive duration (see below)
+    link:                        # flow domain: packets over a link
+      {bytes_per_sec: 1.25e6, channels: 1, drain_factor: 1.5}
+    flows:                       # requires `link`; channels set cpus
+      - name: video
+        weight: 4.0
+        packets: 500
+        arrival: {kind: poisson, rate: 200.0}   # omit = backlogged
+        size: {kind: constant-mtu, mtu: 1500}
+        resources: {cpu: 0.6, bandwidth: 0.8}
     drivers:
       - {kind: short-jobs, name: T_short, job_cpu: 0.3}
     events:
@@ -80,6 +89,8 @@ from repro.scenario.arrivals import make_arrival
 from repro.scenario.demands import make_demand
 from repro.scenario.io.schema import (
     CLASS_FIELDS,
+    FLOW_FIELDS,
+    LINK_FIELDS,
     SCENARIO_FIELDS,
     STREAM_FIELDS,
     WEIGHT_CHURN_FIELDS,
@@ -150,7 +161,8 @@ EVENT_KINDS: dict[str, type] = {
 }
 _EVENT_NAMES = {cls: kind for kind, cls in EVENT_KINDS.items()}
 
-# range constraints the annotation-derived table cannot express
+# range constraints the annotation-derived table cannot express;
+# behavior and resources are structured blocks the loader handles
 _TASK_RANGES: dict[str, dict[str, float]] = {
     "weight": {"gt": 0.0},
     "at": {"ge": 0.0},
@@ -158,7 +170,7 @@ _TASK_RANGES: dict[str, dict[str, float]] = {
 }
 TASK_FIELDS = tuple(
     dataclasses.replace(spec, **_TASK_RANGES.get(spec.name, {}))
-    for spec in fields_of_dataclass(TaskSpec, skip=("behavior",))
+    for spec in fields_of_dataclass(TaskSpec, skip=("behavior", "resources"))
 )
 
 GROUP_FIELDS: tuple[FieldSpec, ...] = (
@@ -185,14 +197,83 @@ def _kind_of(
     return kind
 
 
+def _build_packet_flow(block: Mapping[str, Any], path: str) -> Any:
+    """Build a materialized ``packet-flow`` behaviour spec.
+
+    Unlike the dataclass-derived kinds this one carries two parallel
+    float arrays (enqueue times, packet sizes), so it gets a custom
+    build/dump pair instead of a FieldSpec table.
+    """
+    # lazy: repro.flows imports this package, so resolving its specs at
+    # module level would race a partially initialized repro.flows
+    from repro.flows.spec import PacketFlow
+
+    accepted = ("kind", "bytes_per_sec", "arrivals", "sizes")
+    for key in block:
+        if key not in accepted:
+            raise ConfigError(
+                _join(path, key),
+                f"unknown key; accepted: {', '.join(sorted(accepted))}",
+            )
+    if "bytes_per_sec" not in block:
+        raise ConfigError(
+            _join(path, "bytes_per_sec"), "required key is missing"
+        )
+    rate = FieldSpec("bytes_per_sec", "float", gt=0.0).check(
+        block["bytes_per_sec"], _join(path, "bytes_per_sec")
+    )
+    arrays: dict[str, tuple[float, ...]] = {}
+    for key, spec in (
+        ("arrivals", FieldSpec("arrivals", "float", ge=0.0)),
+        ("sizes", FieldSpec("sizes", "float", gt=0.0)),
+    ):
+        if key not in block:
+            raise ConfigError(_join(path, key), "required key is missing")
+        key_path = _join(path, key)
+        arrays[key] = tuple(
+            spec.check(item, f"{key_path}[{i}]")
+            for i, item in enumerate(check_sequence(block[key], key_path))
+        )
+    try:
+        return PacketFlow(
+            arrivals=arrays["arrivals"],
+            sizes=arrays["sizes"],
+            bytes_per_sec=rate,
+        )
+    except ValueError as exc:
+        raise ConfigError(path, str(exc)) from None
+
+
 def _build_behavior(value: object, path: str) -> Any:
     block = check_mapping(value, path)
-    kind = _kind_of(block, BEHAVIOR_KINDS, path, "behaviour kind")
+    kinds: dict[str, Any] = dict(BEHAVIOR_KINDS)
+    kinds["packet-flow"] = None  # custom build below
+    kind = _kind_of(block, kinds, path, "behaviour kind")
+    if kind == "packet-flow":
+        return _build_packet_flow(block, path)
     cls = BEHAVIOR_KINDS[kind]
     fields = validate_block(
         block, fields_of_dataclass(cls), path, extra_keys=("kind",)
     )
     return cls(**fields)
+
+
+def _build_resources(value: object, path: str) -> dict[str, float]:
+    """Validate a per-task resource-demand vector block."""
+    from repro.flows.resources import RESOURCES  # lazy, see above
+
+    block = check_mapping(value, path)
+    out: dict[str, float] = {}
+    for key, item in block.items():
+        if key not in RESOURCES:
+            raise ConfigError(
+                _join(path, key),
+                f"unknown resource; accepted: {', '.join(RESOURCES)}",
+            )
+        out[key] = FieldSpec(key, "float", ge=0.0).check(
+            item, _join(path, key)
+        )
+    return out
 
 
 def _build_tasks(value: object, path: str) -> list[TaskSpec]:
@@ -201,11 +282,15 @@ def _build_tasks(value: object, path: str) -> list[TaskSpec]:
         item_path = f"{path}[{i}]"
         block = check_mapping(item, item_path)
         fields = validate_block(
-            block, TASK_FIELDS, item_path, extra_keys=("behavior",)
+            block, TASK_FIELDS, item_path, extra_keys=("behavior", "resources")
         )
         if "behavior" in block:
             fields["behavior"] = _build_behavior(
                 block["behavior"], _join(item_path, "behavior")
+            )
+        if "resources" in block:
+            fields["resources"] = _build_resources(
+                block["resources"], _join(item_path, "resources")
             )
         out.append(TaskSpec(**fields))
     return out
@@ -423,6 +508,106 @@ def _demand_names() -> list[str]:
     return demand_names()
 
 
+def _build_flow_specs(value: object, path: str) -> list[Any]:
+    """Build the declarative :class:`~repro.flows.spec.FlowSpec` rows."""
+    from repro.flows.spec import FlowSpec  # lazy, see _build_packet_flow
+
+    out: list[FlowSpec] = []
+    for i, item in enumerate(check_sequence(value, path)):
+        item_path = f"{path}[{i}]"
+        block = check_mapping(item, item_path)
+        fields = validate_block(
+            block,
+            FLOW_FIELDS,
+            item_path,
+            extra_keys=("arrival", "size", "resources"),
+        )
+        arrival = None
+        arrival_params: dict[str, Any] = {}
+        if "arrival" in block:
+            arrival_path = _join(item_path, "arrival")
+            arrival_block = check_mapping(block["arrival"], arrival_path)
+            arrival = _kind_of(
+                arrival_block,
+                dict.fromkeys(_arrival_names()),
+                arrival_path,
+                "registered arrival process",
+            )
+            arrival_params = {
+                k: v for k, v in arrival_block.items() if k != "kind"
+            }
+        size = "constant-mtu"
+        size_params: dict[str, Any] = {}
+        if "size" in block:
+            size_path = _join(item_path, "size")
+            size_block = check_mapping(block["size"], size_path)
+            size = _kind_of(
+                size_block,
+                dict.fromkeys(_demand_names()),
+                size_path,
+                "registered demand distribution",
+            )
+            size_params = {k: v for k, v in size_block.items() if k != "kind"}
+        resources: dict[str, float] = {}
+        if "resources" in block:
+            resources = _build_resources(
+                block["resources"], _join(item_path, "resources")
+            )
+        try:
+            out.append(
+                FlowSpec(
+                    name=fields["name"],
+                    weight=fields["weight"],
+                    packets=fields["packets"],
+                    at=fields["at"],
+                    arrival=arrival,
+                    arrival_params=arrival_params,
+                    size=size,
+                    size_params=size_params,
+                    resources=resources,
+                    seed=fields["seed"],
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(item_path, str(exc)) from None
+    if not out:
+        raise ConfigError(path, "needs at least one flow")
+    return out
+
+
+def _build_flows(
+    flows_value: object, link_value: object, path: str
+) -> tuple[list[TaskSpec], int, float, float | None]:
+    """Materialize a ``flows``/``link`` pair into explicit tasks.
+
+    Returns ``(tasks, channels, mean_packet_time, derived duration)``
+    — the link's channels become the scenario's cpus, and the mean
+    packet transmission time is the natural quantum when the config
+    does not set one.
+    """
+    from repro.flows.scenario import materialize_flows  # lazy, see above
+    from repro.flows.spec import LinkSpec
+
+    link_block = check_mapping(link_value, _join(path, "link"))
+    link_fields = validate_block(link_block, LINK_FIELDS, _join(path, "link"))
+    try:
+        link = LinkSpec(
+            bytes_per_sec=link_fields["bytes_per_sec"],
+            channels=link_fields["channels"],
+        )
+    except ValueError as exc:
+        raise ConfigError(_join(path, "link"), str(exc)) from None
+    flows = _build_flow_specs(flows_value, _join(path, "flows"))
+    try:
+        tasks, mean_size, horizon = materialize_flows(flows, link)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(_join(path, "flows"), str(exc)) from None
+    derived = None
+    if link_fields["drain_factor"] is not None:
+        derived = link_fields["drain_factor"] * horizon
+    return tasks, link.channels, mean_size / link.bytes_per_sec, derived
+
+
 _SCENARIO_BLOCKS = (
     "kind",
     "scheduler_params",
@@ -431,6 +616,8 @@ _SCENARIO_BLOCKS = (
     "tasks",
     "groups",
     "streams",
+    "flows",
+    "link",
     "drivers",
     "events",
 )
@@ -483,6 +670,30 @@ def scenario_from_dict(
             if derived is not None:
                 derived_durations.append(derived)
 
+    cpus = fields["cpus"]
+    quantum = fields["quantum"]
+    if ("flows" in block) != ("link" in block):
+        missing = "link" if "flows" in block else "flows"
+        present = "flows" if "flows" in block else "link"
+        raise ConfigError(
+            _join(path, missing),
+            f"required key is missing ({present!r} needs a {missing!r} block)",
+        )
+    if "flows" in block:
+        if "cpus" in block:
+            raise ConfigError(
+                _join(path, "cpus"),
+                "conflicts with 'link' (link.channels sets cpus)",
+            )
+        flow_tasks, cpus, mean_packet_time, derived = _build_flows(
+            block["flows"], block["link"], path
+        )
+        tasks.extend(flow_tasks)
+        if "quantum" not in block:
+            quantum = mean_packet_time
+        if derived is not None:
+            derived_durations.append(derived)
+
     duration = fields["duration"]
     if duration is None and derived_durations:
         duration = max(derived_durations)
@@ -524,8 +735,8 @@ def scenario_from_dict(
             name=fields["name"],
             scheduler=fields["scheduler"],
             scheduler_params=scheduler_params,
-            cpus=fields["cpus"],
-            quantum=fields["quantum"],
+            cpus=cpus,
+            quantum=quantum,
             cost_model=fields["cost_model"],
             duration=duration,
             tasks=tuple(tasks),
@@ -689,17 +900,32 @@ def _spec_to_dict(spec: Any, kind: str, fields: Sequence[FieldSpec]) -> dict:
     return out
 
 
+def _packet_flow_to_dict(behavior: Any) -> dict[str, Any]:
+    return {
+        "kind": "packet-flow",
+        "bytes_per_sec": behavior.bytes_per_sec,
+        "arrivals": list(behavior.arrivals),
+        "sizes": list(behavior.sizes),
+    }
+
+
 def _task_to_dict(spec: TaskSpec) -> dict[str, Any]:
+    from repro.flows.spec import PacketFlow  # lazy, see _build_packet_flow
+
     out: dict[str, Any] = {}
     for f in TASK_FIELDS:
         value = getattr(spec, f.name)
         if f.required or value != f.default:
             out[f.name] = value
-    if spec.behavior != Inf():
+    if isinstance(spec.behavior, PacketFlow):
+        out["behavior"] = _packet_flow_to_dict(spec.behavior)
+    elif spec.behavior != Inf():
         cls = type(spec.behavior)
         out["behavior"] = _spec_to_dict(
             spec.behavior, _BEHAVIOR_NAMES[cls], fields_of_dataclass(cls)
         )
+    if spec.resources:
+        out["resources"] = dict(spec.resources)
     return out
 
 

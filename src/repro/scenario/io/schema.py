@@ -36,6 +36,8 @@ __all__ = [
     "STREAM_FIELDS",
     "CLASS_FIELDS",
     "WEIGHT_CHURN_FIELDS",
+    "FLOW_FIELDS",
+    "LINK_FIELDS",
 ]
 
 
@@ -270,4 +272,24 @@ WEIGHT_CHURN_FIELDS: tuple[FieldSpec, ...] = (
     FieldSpec("start", "float", required=True, ge=0.0),
     FieldSpec("every", "float", required=True, gt=0.0),
     FieldSpec("until", "float", required=True, gt=0.0),
+)
+
+#: one flow under the ``flows:`` block (packet fair-queueing domain);
+#: the ``arrival``/``size``/``resources`` sub-blocks are handled by the
+#: loader (registry-dispatched / resource-vector mappings)
+FLOW_FIELDS: tuple[FieldSpec, ...] = (
+    FieldSpec("name", "str", required=True),
+    FieldSpec("weight", "float", default=1.0, gt=0.0),
+    FieldSpec("packets", "int", default=100, ge=1),
+    FieldSpec("at", "float", default=0.0, ge=0.0),
+    FieldSpec("seed", "int", default=0),
+)
+
+#: the ``link:`` block a ``flows:`` population transmits over; its
+#: ``channels`` become the scenario's ``cpus``, and ``drain_factor``
+#: (when set) derives ``duration`` from the materialized horizon
+LINK_FIELDS: tuple[FieldSpec, ...] = (
+    FieldSpec("bytes_per_sec", "float", required=True, gt=0.0),
+    FieldSpec("channels", "int", default=1, ge=1),
+    FieldSpec("drain_factor", "float", default=None, nullable=True, ge=1.0),
 )

@@ -436,6 +436,54 @@ def _metric_driver_shares(result: SimulationResult) -> dict[str, float]:
     return out
 
 
+def _metric_flow_throughput(result: SimulationResult) -> dict[str, float]:
+    """Goodput in bytes/sec per flow + ``"all"`` (flow populations)."""
+    from repro.flows.metrics import flow_throughput
+
+    return flow_throughput(result)
+
+
+def _make_packet_delay_percentile(
+    q: float,
+) -> Callable[[SimulationResult], dict[str, float]]:
+    """Per-flow packet-delay percentile extractor (+ ``"all"``).
+
+    Delay is enqueue-to-completion per packet — queueing plus
+    transmission; empty on non-flow populations.
+    """
+
+    def extract(result: SimulationResult) -> dict[str, float]:
+        from repro.flows.metrics import packet_delay_percentiles
+
+        return packet_delay_percentiles(result, q)
+
+    extract.__doc__ = (
+        f"p{q:g} enqueue-to-completion packet delay per flow + ``\"all\"``."
+    )
+    return extract
+
+
+def _metric_resource_shares(result: SimulationResult) -> dict[str, Any]:
+    """Per-resource share of delivered {cpu, memory, bandwidth}, per task."""
+    from repro.flows.resources import resource_shares
+
+    return resource_shares(result)
+
+
+def _metric_dominant_shares(result: SimulationResult) -> dict[str, float]:
+    """DRF-style dominant resource share per task with a demand vector."""
+    from repro.flows.resources import dominant_shares
+
+    return dominant_shares(result)
+
+
+def _metric_resource_jains(result: SimulationResult) -> dict[str, float]:
+    """Jain's fairness index per resource over weighted resource service."""
+    from repro.flows.resources import resource_jains
+
+    return resource_jains(result)
+
+
 def _metric_audit(result: SimulationResult) -> dict[str, Any]:
     """Flat invariant-audit summary (requires ``Scenario(audit=True)``)."""
     if result.audit_report is None:
@@ -468,6 +516,13 @@ METRICS = {
     "completed": _metric_completed,
     "class_shares": _metric_class_shares,
     "driver_shares": _metric_driver_shares,
+    "flow_throughput": _metric_flow_throughput,
+    "packet_delay_p50": _make_packet_delay_percentile(50.0),
+    "packet_delay_p95": _make_packet_delay_percentile(95.0),
+    "packet_delay_p99": _make_packet_delay_percentile(99.0),
+    "resource_shares": _metric_resource_shares,
+    "dominant_shares": _metric_dominant_shares,
+    "resource_jains": _metric_resource_jains,
 }
 
 

@@ -72,6 +72,15 @@ def _build_behavior(spec) -> Behavior:
             checkpoint_io=spec.checkpoint_io,
             rng=rng,
         )
+    # Domain packages plug in behaviour specs without a scenario-layer
+    # import cycle: repro.flows imports this module's package, so its
+    # specs resolve lazily (any PacketFlow instance implies repro.flows
+    # is importable — pickle restores it through the same module).
+    from repro.flows.spec import PacketFlow
+    from repro.flows.transmit import FlowTransmitter
+
+    if isinstance(spec, PacketFlow):
+        return FlowTransmitter(spec)
     raise TypeError(f"unknown behaviour spec {spec!r}")
 
 
@@ -116,6 +125,16 @@ def build_machine(
         )
         machine.add_task(task, at=spec.at)
         tasks[spec.name] = task
+    # Declared multi-resource demand vectors ride along on the machine
+    # so post-run accounting (and the auditor's resource-conservation
+    # check) can see them without re-plumbing Task itself.
+    vectors = {
+        spec.name: dict(spec.resources)
+        for spec in scenario.tasks
+        if spec.resources
+    }
+    if vectors:
+        machine.resource_vectors = vectors
     drivers: dict[str, object] = {}
     for driver in scenario.drivers:
         if isinstance(driver, ShortJobs):

@@ -39,6 +39,7 @@ from typing import Any, Mapping
 
 from repro.scenario.arrivals import PoissonArrivals
 from repro.scenario.demands import BoundedParetoDemand
+from repro.scenario.families import register_family
 from repro.scenario.population import generated_tasks
 from repro.scenario.spec import Scenario
 
@@ -57,6 +58,9 @@ SERVER_WEIGHT_CLASSES: tuple[tuple[str, float, float], ...] = (
 )
 
 
+@register_family(
+    "server", "high-N open-arrival CPU workloads (Poisson x Pareto)"
+)
 def server_scenario(
     n_tasks: int,
     cpus: int = 4,

@@ -111,7 +111,13 @@ BehaviorSpec = Union[Inf, Compute, InteractiveLoop, Mpeg, Compile, Disksim]
 
 @dataclass(frozen=True)
 class TaskSpec:
-    """One thread of the population: behaviour + weight + arrival."""
+    """One thread of the population: behaviour + weight + arrival.
+
+    ``resources`` optionally declares a per-second demand vector over
+    {cpu, memory, bandwidth} (see :mod:`repro.flows.resources`) for
+    the multi-resource fairness metrics; empty means the task only
+    consumes the schedulable resource.
+    """
 
     name: str
     weight: float = 1.0
@@ -119,6 +125,10 @@ class TaskSpec:
     at: float = 0.0
     ts_priority: int = 20
     footprint_kb: float = 0.0
+    resources: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "resources", dict(self.resources))
 
 
 def task(
@@ -128,9 +138,13 @@ def task(
     at: float = 0.0,
     ts_priority: int = 20,
     footprint_kb: float = 0.0,
+    resources: Mapping[str, float] | None = None,
 ) -> TaskSpec:
     """Declare one task (compute-bound ``Inf`` by default)."""
-    return TaskSpec(name, weight, behavior, at, ts_priority, footprint_kb)
+    return TaskSpec(
+        name, weight, behavior, at, ts_priority, footprint_kb,
+        dict(resources or {}),
+    )
 
 
 def group(

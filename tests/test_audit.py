@@ -29,6 +29,7 @@ EXPECTED_CHECKS = [
     "bounded_lag",
     "monotone_vtime",
     "no_starvation",
+    "resource_conservation",
     "service_conservation",
     "surplus_order",
 ]
@@ -53,7 +54,7 @@ def _scenario(**overrides):
 # ----------------------------------------------------------------------
 
 
-def test_five_checks_registered():
+def test_six_checks_registered():
     assert check_names() == EXPECTED_CHECKS
 
 
@@ -148,8 +149,12 @@ def test_violation_cap_truncates_storage_not_counts():
 
 def test_exact_sfs_runs_all_checks():
     report = run_scenario(_scenario()).audit_report
-    assert sorted(report.counts) == EXPECTED_CHECKS
-    assert not report.skipped
+    # resource_conservation needs declared demand vectors; every other
+    # check executes on a plain CPU population under exact SFS.
+    assert sorted(report.counts) == [
+        name for name in EXPECTED_CHECKS if name != "resource_conservation"
+    ]
+    assert sorted(report.skipped) == ["resource_conservation"]
     assert report.ok
     assert report.dispatches_seen > 0
     assert report.events_seen > 0
@@ -158,7 +163,12 @@ def test_exact_sfs_runs_all_checks():
 def test_non_tagged_scheduler_skips_tag_checks():
     report = run_scenario(_scenario(scheduler="round-robin")).audit_report
     assert sorted(report.counts) == ["no_starvation", "service_conservation"]
-    assert sorted(report.skipped) == ["bounded_lag", "monotone_vtime", "surplus_order"]
+    assert sorted(report.skipped) == [
+        "bounded_lag",
+        "monotone_vtime",
+        "resource_conservation",
+        "surplus_order",
+    ]
     assert report.ok
 
 
@@ -308,7 +318,9 @@ def test_audit_metric_survives_worker_pool():
     summary = cells[0].metrics["audit"]
     assert summary["ok"] is True
     assert summary["scheduler"] == "SFS"
-    assert sorted(summary["counts"]) == EXPECTED_CHECKS
+    assert sorted(summary["counts"]) == [
+        name for name in EXPECTED_CHECKS if name != "resource_conservation"
+    ]
     json.dumps(summary)
 
 

@@ -22,6 +22,7 @@ from repro.experiments import (
     fig6b_isolation,
     fig6c_interactive,
     fig7_ctxswitch,
+    flows_study,
     sensitivity,
     table1_lmbench,
 )
@@ -60,6 +61,9 @@ CASES = {
         sensitivity.run(
             jitters=(0.0,), seeds=(1,), schedulers=("gms-reference",)
         )
+    ),
+    "flows": lambda: flows_study.render(
+        flows_study.run(n_flows=6, packets_per_flow=60, workers=0)
     ),
 }
 

@@ -109,7 +109,7 @@ class TestCli:
     def test_experiment_table_is_complete(self):
         assert set(EXPERIMENTS) == {
             "fig1", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c",
-            "table1", "fig7", "sensitivity", "saturation",
+            "table1", "fig7", "sensitivity", "saturation", "flows",
         }
 
     def test_cli_rejects_unknown_experiment(self):
